@@ -1,0 +1,238 @@
+package svagc_test
+
+// One testing.B benchmark per paper table and figure, plus ablation
+// benches for the design choices DESIGN.md calls out. Each experiment
+// benchmark reports the headline simulated metric alongside wall time.
+// Run with:
+//
+//	go test -bench=. -benchmem            # full sweeps
+//	go test -bench=. -benchmem -short     # reduced (Quick) sweeps
+//
+// Simulated results are deterministic; the wall-time numbers measure the
+// harness itself.
+
+import (
+	"strconv"
+	"testing"
+
+	svagc "repro"
+	"repro/internal/bench"
+	"repro/internal/gc"
+	gcsvagc "repro/internal/gc/svagc"
+	"repro/internal/heap"
+	"repro/internal/jvm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func benchOptions(b *testing.B) bench.Options {
+	return bench.Options{Quick: testing.Short()}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- the paper's artifacts ----------------------------------------------------
+
+func BenchmarkFig1PhaseBreakdown(b *testing.B)    { runExperiment(b, "fig1") }
+func BenchmarkFig2MultiJVM(b *testing.B)          { runExperiment(b, "fig2") }
+func BenchmarkFig6Aggregation(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig8PMDCaching(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkFig9MultiCore(b *testing.B)         { runExperiment(b, "fig9") }
+func BenchmarkFig10Threshold(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkFig11SwapVAGain(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkFig12AvgLatency(b *testing.B)       { runExperiment(b, "fig12") }
+func BenchmarkFig13MaxLatency(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkFig14SVAGCScalability(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFig15AppThroughput(b *testing.B)    { runExperiment(b, "fig15") }
+func BenchmarkFig16VsBaselines(b *testing.B)      { runExperiment(b, "fig16") }
+func BenchmarkTable1Applicability(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkTable2Benchmarks(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkTable3PerfCounters(b *testing.B)    { runExperiment(b, "table3") }
+func BenchmarkExt1PhaseMatrix(b *testing.B)       { runExperiment(b, "ext1") }
+func BenchmarkExt2NVMHeap(b *testing.B)           { runExperiment(b, "ext2") }
+func BenchmarkExt3HugePages(b *testing.B)         { runExperiment(b, "ext3") }
+
+// --- primitive benches: the core move operations ------------------------------
+
+// BenchmarkMoveObject measures the simulated cost of moving one object of
+// varying page counts with SwapVA versus memmove (the Fig. 10 primitive),
+// reporting simulated nanoseconds per move.
+func BenchmarkMoveObject(b *testing.B) {
+	for _, pages := range []int{1, 4, 10, 16, 64, 256} {
+		for _, method := range []string{"swapva", "memmove"} {
+			b.Run(method+"/"+strconv.Itoa(pages)+"pages", func(b *testing.B) {
+				m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+				k := kernel.New(m)
+				as := m.NewAddressSpace()
+				a, err := as.MapRegion(pages)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := as.MapRegion(pages)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := m.NewContext(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if method == "swapva" {
+						if err := k.SwapVA(ctx, as, a, c, pages, kernel.DefaultOptions()); err != nil {
+							b.Fatal(err)
+						}
+					} else if err := k.Memmove(ctx, as, c, a, pages<<12); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(ctx.Clock.Now())/float64(b.N), "simns/move")
+			})
+		}
+	}
+}
+
+// --- ablation benches ----------------------------------------------------------
+
+// churnLarge fills a JVM with large objects and drops half, then collects.
+func churnLarge(b *testing.B, vm *jvm.JVM, payload int) *gc.PauseInfo {
+	b.Helper()
+	th := vm.Thread(0)
+	var roots []*gc.Root
+	for i := 0; i < 24; i++ {
+		r, err := th.AllocRooted(heap.AllocSpec{Payload: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots = append(roots, r)
+	}
+	for i := 0; i < len(roots); i += 2 {
+		vm.Roots.Remove(roots[i])
+	}
+	pause, err := vm.GC.Collect(vm.Thread(0).Ctx, gc.CauseExplicit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pause
+}
+
+// BenchmarkAblationThreshold sweeps the swapping threshold, reporting the
+// simulated compaction time of a fixed large-object collection.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, threshold := range []int{1, 4, 10, 16, 32, 64} {
+		b.Run(strconv.Itoa(threshold)+"pages", func(b *testing.B) {
+			var compact sim.Time
+			for i := 0; i < b.N; i++ {
+				m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+				sc := gcsvagc.Config{Workers: 4, ThresholdPages: threshold}
+				vm, err := jvm.New(m, jvm.Config{
+					HeapBytes: 64 << 20,
+					Policy:    gcsvagc.Policy(sc),
+					NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+						return gcsvagc.New(h, roots, sc)
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				compact = churnLarge(b, vm, 16*mem.PageSize).Phases.Compact
+			}
+			b.ReportMetric(float64(compact), "simns/compact")
+		})
+	}
+}
+
+// BenchmarkAblationOptimisations toggles each SwapVA optimisation off in
+// turn, reporting the compaction time delta.
+func BenchmarkAblationOptimisations(b *testing.B) {
+	configs := map[string]gcsvagc.Config{
+		"full":           {Workers: 4},
+		"no-aggregation": {Workers: 4, DisableAggregation: true},
+		"no-pinning":     {Workers: 4, DisablePinning: true},
+		"no-pmd-cache":   {Workers: 4, DisablePMDCaching: true},
+		"no-overlap":     {Workers: 4, DisableOverlap: true},
+		"no-swapva":      {Workers: 4, DisableSwapVA: true},
+	}
+	for name, sc := range configs {
+		sc := sc
+		b.Run(name, func(b *testing.B) {
+			var compact sim.Time
+			for i := 0; i < b.N; i++ {
+				m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+				vm, err := jvm.New(m, jvm.Config{
+					HeapBytes: 96 << 20,
+					Policy:    gcsvagc.Policy(sc),
+					NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+						return gcsvagc.New(h, roots, sc)
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				compact = churnLarge(b, vm, 64*mem.PageSize).Phases.Compact
+			}
+			b.ReportMetric(float64(compact), "simns/compact")
+		})
+	}
+}
+
+// BenchmarkAblationOverlap compares the cycle-chasing overlap swap
+// (Algorithm 2) against the pairwise fallback for overlapping ranges.
+func BenchmarkAblationOverlap(b *testing.B) {
+	const pages, delta = 64, 8
+	for _, mode := range []string{"cycle-chasing", "pairwise"} {
+		b.Run(mode, func(b *testing.B) {
+			m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+			k := kernel.New(m)
+			as := m.NewAddressSpace()
+			va, err := as.MapRegion(pages + delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := kernel.DefaultOptions()
+			opts.Overlap = mode == "cycle-chasing"
+			opts.Flush = kernel.FlushLocalOnly
+			ctx := m.NewContext(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.SwapVA(ctx, as, va, va+delta<<12, pages, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ctx.Clock.Now())/float64(b.N), "simns/swap")
+		})
+	}
+}
+
+// BenchmarkWorkloadUnderSVAGC runs one representative workload end to end
+// per iteration — the harness's own wall-clock cost for profiling.
+func BenchmarkWorkloadUnderSVAGC(b *testing.B) {
+	spec, err := svagc.WorkloadByName("Sparse.large/4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m := svagc.NewMachine(svagc.XeonGold6130())
+		vm, err := svagc.NewJVM(m, svagc.JVMConfig{
+			HeapBytes: spec.MinHeap(1.2),
+			Threads:   spec.Threads,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := spec.Run(vm, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command gcbench regenerates the paper's evaluation artifacts: every
+// figure and table has an experiment ID (fig1..fig16, table1..table3).
+//
+// Usage:
+//
+//	gcbench -exp fig11            # one experiment
+//	gcbench -exp all              # everything, in paper order
+//	gcbench -exp fig12 -quick     # reduced sweep for a fast look
+//	gcbench -list                 # available experiment IDs
+//	gcbench -exp fig10 -machine gold6240
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (fig1..fig16, table1..table3) or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		quick   = flag.Bool("quick", false, "reduced sweeps and benchmark subset")
+		machine = flag.String("machine", "", "cost model override (gold6130, gold6240, i5-7600)")
+		workers = flag.Int("gcworkers", 4, "GC threads per JVM")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "gcbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed}
+	if *machine != "" {
+		cost, err := sim.ModelByName(*machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(2)
+		}
+		opt.Cost = cost
+	}
+
+	var exps []*bench.Experiment
+	if *exp == "all" {
+		exps = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gcbench:", err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		res, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%s regenerated in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,143 @@
+// Command svagc runs one Table II workload under a chosen collector and
+// prints its GC and application statistics — the interactive entry point
+// for exploring the system.
+//
+// Usage:
+//
+//	svagc -bench Sigverify                       # SVAGC, 1.2x min heap
+//	svagc -bench Sparse.large/4 -gc parallelgc
+//	svagc -bench LRUCache -gc svagc -jvms 32     # modelled co-running JVMs
+//	svagc -bench FFT.large -heap 2.0 -threshold 16
+//	svagc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gc"
+	"repro/internal/gc/svagc"
+	"repro/internal/heap"
+	"repro/internal/jvm"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "workload name (see -list)")
+		collector = flag.String("gc", jvm.CollectorSVAGC, "collector: svagc, svagc-memmove, parallelgc, shenandoah, parallelgc-swapva, shenandoah-swapva")
+		factor    = flag.Float64("heap", 1.2, "heap size as a factor of the workload's minimum")
+		workers   = flag.Int("gcworkers", 4, "GC threads")
+		jvms      = flag.Int("jvms", 1, "modelled co-running JVM count")
+		threshold = flag.Int("threshold", 0, "SwapVA threshold override in pages (svagc only)")
+		mach      = flag.String("machine", "gold6130", "cost model (gold6130, gold6240, i5-7600)")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		pauses    = flag.Bool("pauses", false, "print every pause record")
+		gclog     = flag.Bool("gclog", false, "stream -Xlog:gc style lines to stderr as pauses happen")
+		histo     = flag.Bool("histo", false, "print a class histogram of the final heap (jmap -histo style)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.Registry() {
+			fmt.Printf("%-16s %-12s paper: %4d threads, %s; scaled: %d threads, %.1f MiB min heap\n",
+				s.Name, s.Suite, s.PaperThreads, s.PaperHeap, s.Threads, float64(s.MinHeapBytes)/(1<<20))
+		}
+		return
+	}
+	if *benchName == "" {
+		fmt.Fprintln(os.Stderr, "svagc: -bench is required (try -list)")
+		os.Exit(2)
+	}
+	spec, err := workloads.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
+	}
+	cost, err := sim.ModelByName(*mach)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
+	}
+	m, err := machine.New(machine.Config{Cost: cost})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(1)
+	}
+	if *jvms > 1 {
+		m.Bus().SetActiveJVMs(*jvms)
+	}
+
+	heapBytes := spec.MinHeap(*factor)
+	var cfg jvm.Config
+	if *threshold > 0 && *collector == jvm.CollectorSVAGC {
+		sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold}
+		cfg = jvm.Config{
+			HeapBytes: heapBytes,
+			Threads:   spec.Threads,
+			Policy:    svagc.Policy(sc),
+			NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+				return svagc.New(h, roots, sc)
+			},
+		}
+	} else {
+		var ok bool
+		cfg, ok = jvm.ConfigFor(*collector, heapBytes, spec.Threads, *workers)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "svagc: unknown collector %q (want %v)\n", *collector, jvm.CollectorNames())
+			os.Exit(2)
+		}
+	}
+
+	j, err := jvm.New(m, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(1)
+	}
+	if *gclog {
+		j.WithGCLog(os.Stderr)
+	}
+	if err := spec.Run(j, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(1)
+	}
+
+	st := j.GC.Stats()
+	fmt.Printf("%s under %s on %s (%.1fx min heap = %.1f MiB, %d mutator threads, %d GC workers, %d JVMs)\n",
+		spec.Name, j.GC.Name(), cost.Name, *factor, float64(heapBytes)/(1<<20), spec.Threads, *workers, *jvms)
+	fmt.Printf("  app time           %v (mutator %v + pauses %v + concurrent GC %v)\n",
+		j.AppTime(), j.MutatorTime(), j.GCPauseTime(), j.GCConcurrentTime())
+	fmt.Printf("  collections        %d full, %d minor\n", st.Count(gc.KindFull), st.Count(gc.KindMinor))
+	fmt.Printf("  pause total/max    %v / %v\n", st.TotalPause(""), st.MaxPause(""))
+	pt := st.PhaseTotals(gc.KindFull)
+	fmt.Printf("  full-GC phases     mark %v, forward %v, adjust %v, compact %v\n",
+		pt.Mark, pt.Forward, pt.Adjust, pt.Compact)
+	p := j.TotalPerf()
+	fmt.Printf("  moving             %d pages swapped in %d SwapVA calls; %d bytes memmoved\n",
+		p.PagesSwapped, p.SwapVACalls, p.BytesCopied)
+	fmt.Printf("  perf               %s\n", p.String())
+	if *pauses {
+		for i := range st.Pauses {
+			fmt.Printf("  pause[%d] %s\n", i, st.Pauses[i].String())
+		}
+	}
+	if *histo {
+		// A final full collection compacts the heap so the histogram
+		// reports live objects only (plus alignment fillers).
+		if _, err := j.CollectNow(); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: final collection:", err)
+			os.Exit(1)
+		}
+		stats, err := j.Heap.Histogram(j.Thread(0).Ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: histogram:", err)
+			os.Exit(1)
+		}
+		fmt.Println("live-heap class histogram:")
+		fmt.Print(heap.FormatHistogram(stats))
+	}
+}

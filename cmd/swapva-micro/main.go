@@ -1,0 +1,71 @@
+// Command swapva-micro runs the SwapVA microbenchmarks standalone — the
+// system-call-level experiments of Figs. 6, 8, 9 and 10, plus the
+// huge-swap extension (ext3) — without the GC or workload machinery.
+//
+// Usage:
+//
+//	swapva-micro                  # all five microbenchmarks
+//	swapva-micro -exp fig10       # just the threshold sweep
+//	swapva-micro -machine i5-7600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+var microIDs = []string{"fig6", "fig8", "fig9", "fig10", "ext3"}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "microbenchmark ID (fig6, fig8, fig9, fig10, ext3); empty = all")
+		quick   = flag.Bool("quick", false, "reduced sweeps")
+		machine = flag.String("machine", "", "cost model override (gold6130, gold6240, i5-7600)")
+	)
+	flag.Parse()
+
+	opt := bench.Options{Quick: *quick}
+	if *machine != "" {
+		cost, err := sim.ModelByName(*machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swapva-micro:", err)
+			os.Exit(2)
+		}
+		opt.Cost = cost
+	}
+
+	ids := microIDs
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		ok := false
+		for _, m := range microIDs {
+			if id == m {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "swapva-micro: %q is not a microbenchmark (want one of %v)\n", id, microIDs)
+			os.Exit(2)
+		}
+		e, err := bench.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swapva-micro:", err)
+			os.Exit(2)
+		}
+		res, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swapva-micro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Format())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,48 @@
+// SpMV: the Sparse.large motif. Drives the sparse matrix-vector workload
+// (CSR value blocks around 200 KB — prime SwapVA material) under all four
+// collectors at 1.2x minimum heap and reports the full-GC latency and
+// application time of each, reproducing the per-benchmark slice of
+// Figs. 11/12/16.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	svagc "repro"
+)
+
+func main() {
+	spec, err := svagc.WorkloadByName("Sparse.large")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d threads, %.1f MiB min heap (paper: %d threads, %s)\n\n",
+		spec.Name, spec.Threads, float64(spec.MinHeapBytes)/(1<<20),
+		spec.PaperThreads, spec.PaperHeap)
+	fmt.Printf("%-14s  %8s  %12s  %12s  %12s\n",
+		"collector", "gcs", "gc-total", "max-pause", "app-time")
+
+	for _, collector := range []string{
+		svagc.CollectorShen, svagc.CollectorParallel,
+		svagc.CollectorSVAGCBase, svagc.CollectorSVAGC,
+	} {
+		m := svagc.NewMachine(svagc.XeonGold6130())
+		vm, err := svagc.NewJVM(m, svagc.JVMConfig{
+			HeapBytes: spec.MinHeap(1.2),
+			Collector: collector,
+			Threads:   spec.Threads,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := spec.Run(vm, 42); err != nil {
+			log.Fatal(err)
+		}
+		st := vm.GC.Stats()
+		fmt.Printf("%-14s  %8d  %12v  %12v  %12v\n",
+			collector, len(st.Pauses), st.TotalPause(""), st.MaxPause(""), vm.AppTime())
+	}
+	fmt.Println("\nSwapVA turns the dominant block-copying compaction into page")
+	fmt.Println("remapping; the collectors above are ordered as in the paper.")
+}

@@ -1,0 +1,279 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation (§V), each regenerating the same rows
+// or series the paper reports, on the simulated machine. Results are
+// deterministic; EXPERIMENTS.md records the paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/gc"
+	"repro/internal/jvm"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Cost selects the machine model (default Xeon Gold 6130, the
+	// paper's main testbed).
+	Cost *sim.CostModel
+	// GCWorkers is the per-JVM GC thread count (default 4, as in the
+	// paper's multi-JVM experiments).
+	GCWorkers int
+	// Quick trims sweeps and benchmark lists so tests finish fast; full
+	// runs regenerate every series.
+	Quick bool
+	// Seed feeds the workloads (default 42).
+	Seed int64
+}
+
+func (o Options) cost() *sim.CostModel {
+	if o.Cost == nil {
+		return sim.XeonGold6130()
+	}
+	return o.Cost
+}
+
+func (o Options) workers() int {
+	if o.GCWorkers <= 0 {
+		return 4
+	}
+	return o.GCWorkers
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Result is a rendered experiment: a titled table plus free-form notes.
+type Result struct {
+	ID     string
+	Title  string
+	Paper  string // the paper's reported shape, for side-by-side reading
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options) (*Result, error)
+}
+
+// Registry returns every experiment, ordered as in the paper.
+func Registry() []*Experiment {
+	return []*Experiment{
+		{ID: "fig1", Title: "Full-GC phase breakdown (compaction dominates)", Run: Fig1PhaseBreakdown},
+		{ID: "fig2", Title: "Multi-JVM LRU-cache scalability under ParallelGC", Run: Fig2MultiJVM},
+		{ID: "fig6", Title: "Aggregated vs separated SwapVA calls", Run: Fig6Aggregation},
+		{ID: "fig8", Title: "PMD caching benefit", Run: Fig8PMDCaching},
+		{ID: "fig9", Title: "Multi-core SwapVA: pinned vs per-call shootdowns", Run: Fig9MultiCore},
+		{ID: "fig10", Title: "SwapVA/memmove break-even threshold on two machines", Run: Fig10Threshold},
+		{ID: "fig11", Title: "GC time -/+ SwapVA per benchmark", Run: Fig11SwapVAGain},
+		{ID: "fig12", Title: "Average full-GC latency vs ParallelGC/Shenandoah", Run: Fig12AvgLatency},
+		{ID: "fig13", Title: "Maximum GC latency vs ParallelGC/Shenandoah", Run: Fig13MaxLatency},
+		{ID: "fig14", Title: "SVAGC single vs multi-JVM scalability", Run: Fig14SVAGCScalability},
+		{ID: "fig15", Title: "Application throughput of SVAGC (+/- SwapVA)", Run: Fig15AppThroughput},
+		{ID: "fig16", Title: "Application throughput vs ParallelGC/Shenandoah", Run: Fig16VsBaselines},
+		{ID: "table1", Title: "Applicability of SwapVA and optimisations", Run: Table1Applicability},
+		{ID: "table2", Title: "Benchmark configurations", Run: Table2Benchmarks},
+		{ID: "table3", Title: "Cache & DTLB misses, memmove vs SwapVA", Run: Table3PerfCounters},
+		{ID: "ext1", Title: "Extension: SwapVA across GC designs (Table I in action)", Run: Ext1PhaseMatrix},
+		{ID: "ext2", Title: "Extension: heap on non-volatile memory", Run: Ext2NVMHeap},
+		{ID: "ext3", Title: "Extension: 2 MiB (PMD-entry) huge swaps", Run: Ext3HugePages},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// IDs lists experiment IDs.
+func IDs() []string {
+	regs := Registry()
+	ids := make([]string, len(regs))
+	for i, e := range regs {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// --- workload run cache -------------------------------------------------------
+
+// runResult captures everything the figures need from one workload
+// execution under one collector.
+type runResult struct {
+	Collector  string
+	Bench      string
+	Factor     float64
+	JVMs       int
+	AppTime    sim.Time
+	Mutator    sim.Time
+	GCTotal    sim.Time
+	GCMax      sim.Time
+	GCAvg      sim.Time
+	GCAvgFull  sim.Time
+	GCMaxFull  sim.Time
+	Fulls      int
+	Minors     int
+	Concurrent sim.Time
+	Phases     gc.PhaseTimes // full collections only
+	Perf       sim.Perf
+}
+
+var (
+	cacheMu  sync.Mutex
+	runCache = map[string]*runResult{}
+)
+
+func cacheKey(opt Options, collector, bench string, factor float64, jvms int) string {
+	return fmt.Sprintf("%s|%s|%s|%.3f|%d|%d|%d", opt.cost().Name, collector, bench, factor, jvms, opt.workers(), opt.seed())
+}
+
+// ResetCache clears memoised workload runs (tests use it between option
+// changes that the key does not capture).
+func ResetCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	runCache = map[string]*runResult{}
+}
+
+// runWorkload executes (and memoises) one benchmark under one collector at
+// a heap factor, with jvms-1 modelled co-running JVMs.
+func runWorkload(opt Options, collector, bench string, factor float64, jvms int) (*runResult, error) {
+	key := cacheKey(opt, collector, bench, factor, jvms)
+	cacheMu.Lock()
+	if r, ok := runCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(machine.Config{Cost: opt.cost()})
+	if err != nil {
+		return nil, err
+	}
+	if jvms > 1 {
+		m.Bus().SetActiveJVMs(jvms)
+	}
+	cfg, ok := jvm.ConfigFor(collector, spec.MinHeap(factor), spec.Threads, opt.workers())
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown collector %q", collector)
+	}
+	j, err := jvm.New(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Run(j, opt.seed()); err != nil {
+		return nil, fmt.Errorf("bench: %s under %s (%.1fx heap): %w", bench, collector, factor, err)
+	}
+	st := j.GC.Stats()
+	r := &runResult{
+		Collector:  collector,
+		Bench:      bench,
+		Factor:     factor,
+		JVMs:       jvms,
+		AppTime:    j.AppTime(),
+		Mutator:    j.MutatorTime(),
+		GCTotal:    st.TotalPause(""),
+		GCMax:      st.MaxPause(""),
+		GCAvg:      st.AvgPause(""),
+		GCAvgFull:  st.AvgPause(gc.KindFull),
+		GCMaxFull:  st.MaxPause(gc.KindFull),
+		Fulls:      st.Count(gc.KindFull),
+		Minors:     st.Count(gc.KindMinor),
+		Concurrent: st.Concurrent,
+		Phases:     st.PhaseTotals(gc.KindFull),
+		Perf:       j.TotalPerf(),
+	}
+	cacheMu.Lock()
+	runCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// benchList returns the benchmark names a multi-benchmark figure sweeps:
+// the full Table II set, or a representative subset in Quick mode.
+func benchList(opt Options) []string {
+	if opt.Quick {
+		return []string{"Sparse.large/4", "Sigverify", "CryptoAES", "Bisort"}
+	}
+	names := workloads.Names()
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n == "LRUCache" {
+			continue // LRUCache belongs to the scalability figures
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// sortedKeys is a test helper exposing cached run keys.
+func sortedKeys() []string {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	keys := make([]string, 0, len(runCache))
+	for k := range runCache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

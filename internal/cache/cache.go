@@ -1,0 +1,131 @@
+// Package cache simulates a set-associative last-level cache keyed by
+// simulated physical addresses. It tracks only tags (contents live in
+// internal/mem), which is all the reproduction needs: hit/miss decisions
+// feed both the cost model and the perf-style counters behind the paper's
+// Table III (cache-miss percentages of memmove- vs SwapVA-based GC).
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is a set-associative tag store with LRU replacement. It is shared
+// by all simulated cores (an LLC), so methods are mutex-protected.
+type Cache struct {
+	mu        sync.Mutex
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways entries; 0 = invalid
+	age       []uint64 // per-entry LRU timestamps
+	tick      uint64
+}
+
+// New builds a cache of the given total size in bytes with the given
+// associativity and line size. Size must divide evenly into sets of a
+// power-of-two count.
+func New(sizeBytes, ways, lineSize int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("cache: size, ways and lineSize must be positive")
+	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %d is not a power of two", lineSize)
+	}
+	lines := sizeBytes / lineSize
+	sets := lines / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets (size %d, %d-way, %dB lines) is not a positive power of two",
+			sets, sizeBytes, ways, lineSize)
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		age:       make([]uint64, sets*ways),
+	}, nil
+}
+
+// MustNew is New for known-good static configurations; it panics on error.
+func MustNew(sizeBytes, ways, lineSize int) *Cache {
+	c, err := New(sizeBytes, ways, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineShift }
+
+// Access touches the line containing physical address pa and returns
+// whether it hit. On a miss the line is installed, evicting the set's LRU
+// entry. Writes and reads are treated alike (allocate-on-write).
+func (c *Cache) Access(pa uint64) bool {
+	line := pa >> c.lineShift
+	tag := line + 1 // +1 so tag 0 stays "invalid"
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	victim, oldest := base, c.age[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
+			return true
+		}
+		if c.age[i] < oldest {
+			victim, oldest = i, c.age[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.age[victim] = c.tick
+	return false
+}
+
+// AccessRange touches every line in [pa, pa+n) and returns the number of
+// hits and misses. It is the bulk-transfer entry point used by streaming
+// copies.
+func (c *Cache) AccessRange(pa uint64, n int) (hits, misses int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	lineSize := uint64(1) << c.lineShift
+	first := pa &^ (lineSize - 1)
+	last := (pa + uint64(n) - 1) &^ (lineSize - 1)
+	for line := first; ; line += lineSize {
+		if c.Access(line) {
+			hits++
+		} else {
+			misses++
+		}
+		if line == last {
+			break
+		}
+	}
+	return hits, misses
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.age[i] = 0
+	}
+	c.tick = 0
+}
+
+// Sets and Ways expose the geometry for tests.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }

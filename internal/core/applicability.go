@@ -1,0 +1,102 @@
+package core
+
+// This file encodes the paper's Table I: which SwapVA optimisations apply
+// to which GC cycle/phase. Collectors consult it so a misconfiguration
+// (e.g. aggregation during concurrent evacuation) is rejected rather than
+// silently modelled.
+
+// GCPhase classifies the copying/moving phase of a collector cycle.
+type GCPhase int
+
+const (
+	// PhaseFullCompact is the compaction/moving phase of a Full or Major
+	// GC (SVAGC's own cycle).
+	PhaseFullCompact GCPhase = iota
+	// PhaseMinorCopy is the copying phase of a Minor (young-generation)
+	// collection.
+	PhaseMinorCopy
+	// PhaseConcurrentEvac is the evacuation/relocation phase of a
+	// concurrent collector.
+	PhaseConcurrentEvac
+)
+
+// String implements fmt.Stringer.
+func (p GCPhase) String() string {
+	switch p {
+	case PhaseFullCompact:
+		return "full/major compact"
+	case PhaseMinorCopy:
+		return "minor copy"
+	case PhaseConcurrentEvac:
+		return "concurrent evacuation"
+	default:
+		return "unknown phase"
+	}
+}
+
+// Optimization identifies one row of Table I's optimisation columns.
+type Optimization int
+
+const (
+	// OptSwapVA is the base system call.
+	OptSwapVA Optimization = iota
+	// OptAggregation groups many swaps into one call (Fig. 5).
+	OptAggregation
+	// OptPMDCaching reuses the last PMD during walks (Fig. 7).
+	OptPMDCaching
+	// OptOverlap is the cycle-chasing swap for overlapping areas (Alg. 2).
+	OptOverlap
+)
+
+// String implements fmt.Stringer.
+func (o Optimization) String() string {
+	switch o {
+	case OptSwapVA:
+		return "SwapVA"
+	case OptAggregation:
+		return "aggregation"
+	case OptPMDCaching:
+		return "PMD caching"
+	case OptOverlap:
+		return "overlapping"
+	default:
+		return "unknown optimization"
+	}
+}
+
+// Applicable reports Table I: the base call and PMD caching apply
+// everywhere; aggregation is ineffective for concurrent evacuation (each
+// copy is independent); overlap optimisation requires source and
+// destination to share addressable area, which only full/major compaction
+// guarantees.
+func Applicable(phase GCPhase, opt Optimization) bool {
+	switch opt {
+	case OptSwapVA, OptPMDCaching:
+		return true
+	case OptAggregation:
+		return phase != PhaseConcurrentEvac
+	case OptOverlap:
+		return phase == PhaseFullCompact
+	default:
+		return false
+	}
+}
+
+// Phases and Optimizations enumerate the matrix axes for reporting.
+func Phases() []GCPhase {
+	return []GCPhase{PhaseFullCompact, PhaseMinorCopy, PhaseConcurrentEvac}
+}
+
+// Optimizations lists all Table I optimisation columns.
+func Optimizations() []Optimization {
+	return []Optimization{OptSwapVA, OptAggregation, OptPMDCaching, OptOverlap}
+}
+
+// ValidateFor adjusts a MovePolicy for use in the given phase, disabling
+// inapplicable optimisations per Table I. It returns the adjusted copy.
+func (p MovePolicy) ValidateFor(phase GCPhase) MovePolicy {
+	if !Applicable(phase, OptOverlap) {
+		p.Swap.Overlap = false
+	}
+	return p
+}

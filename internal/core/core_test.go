@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {40960, 10}, {40961, 11},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.n); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSwappable(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Swappable(9 * mem.PageSize) {
+		t.Error("9 pages swappable at threshold 10")
+	}
+	if !p.Swappable(10 * mem.PageSize) {
+		t.Error("10 pages not swappable")
+	}
+	if !p.Swappable(9*mem.PageSize + 1) {
+		t.Error("ceil to 10 pages not swappable")
+	}
+	off := MemmovePolicy()
+	if off.Swappable(100 * mem.PageSize) {
+		t.Error("memmove policy claims swappable")
+	}
+}
+
+func TestIfSwapAlign(t *testing.T) {
+	p := DefaultPolicy()
+	big := 12 * mem.PageSize
+	small := 100
+	if got := p.IfSwapAlign(big, 0x1001); got != 0x2000 {
+		t.Errorf("align big: %#x, want 0x2000", got)
+	}
+	if got := p.IfSwapAlign(big, 0x2000); got != 0x2000 {
+		t.Errorf("already aligned moved: %#x", got)
+	}
+	if got := p.IfSwapAlign(small, 0x1001); got != 0x1001 {
+		t.Errorf("small aligned: %#x", got)
+	}
+}
+
+func TestAlignPage(t *testing.T) {
+	if AlignPage(0) != 0 || AlignPage(1) != 4096 || AlignPage(4096) != 4096 || AlignPage(4097) != 8192 {
+		t.Error("AlignPage wrong")
+	}
+	if !PageAligned(8192) || PageAligned(8193) {
+		t.Error("PageAligned wrong")
+	}
+}
+
+func TestMoveObjectRouting(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	ctx := m.NewContext(0)
+	src, _ := as.MapRegion(16)
+	dst, _ := as.MapRegion(16)
+
+	pol := DefaultPolicy()
+
+	// Large object: must swap.
+	method, err := pol.MoveObject(ctx, k, as, src, dst, 12*mem.PageSize)
+	if err != nil || method != MovedSwapVA {
+		t.Fatalf("large: method=%v err=%v", method, err)
+	}
+	// Small object: must memmove.
+	method, err = pol.MoveObject(ctx, k, as, src, dst, 2*mem.PageSize)
+	if err != nil || method != MovedMemmove {
+		t.Fatalf("small: method=%v err=%v", method, err)
+	}
+	// Misaligned large object: defensive memmove.
+	method, err = pol.MoveObject(ctx, k, as, src+8, dst+8, 12*mem.PageSize)
+	if err != nil || method != MovedMemmove {
+		t.Fatalf("misaligned: method=%v err=%v", method, err)
+	}
+	// Identity move: nothing.
+	method, err = pol.MoveObject(ctx, k, as, src, src, 12*mem.PageSize)
+	if err != nil || method != MovedNothing {
+		t.Fatalf("identity: method=%v err=%v", method, err)
+	}
+	// Zero length: nothing.
+	method, err = pol.MoveObject(ctx, k, as, src, dst, 0)
+	if err != nil || method != MovedNothing {
+		t.Fatalf("zero: method=%v err=%v", method, err)
+	}
+	// Negative length: error.
+	if _, err = pol.MoveObject(ctx, k, as, src, dst, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	// Baseline policy: large object still memmoves.
+	base := MemmovePolicy()
+	method, err = base.MoveObject(ctx, k, as, src, dst, 12*mem.PageSize)
+	if err != nil || method != MovedMemmove {
+		t.Fatalf("baseline: method=%v err=%v", method, err)
+	}
+}
+
+// Property: MoveObject delivers the source bytes to the destination
+// regardless of the method chosen.
+func TestMoveObjectDeliversBytes(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	ctx := m.NewContext(0)
+	pol := DefaultPolicy()
+
+	prop := func(pagesRaw uint8, fill byte) bool {
+		pages := int(pagesRaw)%15 + 1
+		length := pages*mem.PageSize - 24 // not an exact page multiple
+		src, err := as.MapRegion(pages)
+		if err != nil {
+			return false
+		}
+		dst, err := as.MapRegion(pages)
+		if err != nil {
+			return false
+		}
+		data := bytes.Repeat([]byte{fill ^ 0x5A}, length)
+		as.RawWrite(src, data)
+		if _, err := pol.MoveObject(ctx, k, as, src, dst, length); err != nil {
+			return false
+		}
+		got := make([]byte, length)
+		as.RawRead(dst, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveMethodString(t *testing.T) {
+	if MovedNothing.String() != "nothing" || MovedMemmove.String() != "memmove" ||
+		MovedSwapVA.String() != "swapva" || MoveMethod(7).String() == "" {
+		t.Error("MoveMethod strings wrong")
+	}
+}
+
+func TestApplicabilityTableI(t *testing.T) {
+	// Exact reproduction of Table I.
+	want := map[GCPhase]map[Optimization]bool{
+		PhaseFullCompact:    {OptSwapVA: true, OptAggregation: true, OptPMDCaching: true, OptOverlap: true},
+		PhaseMinorCopy:      {OptSwapVA: true, OptAggregation: true, OptPMDCaching: true, OptOverlap: false},
+		PhaseConcurrentEvac: {OptSwapVA: true, OptAggregation: false, OptPMDCaching: true, OptOverlap: false},
+	}
+	for _, ph := range Phases() {
+		for _, opt := range Optimizations() {
+			if got := Applicable(ph, opt); got != want[ph][opt] {
+				t.Errorf("Applicable(%v, %v) = %v, want %v", ph, opt, got, want[ph][opt])
+			}
+		}
+	}
+	if Applicable(PhaseFullCompact, Optimization(99)) {
+		t.Error("unknown optimisation applicable")
+	}
+}
+
+func TestValidateForDisablesOverlap(t *testing.T) {
+	p := DefaultPolicy()
+	adjusted := p.ValidateFor(PhaseMinorCopy)
+	if adjusted.Swap.Overlap {
+		t.Error("overlap not disabled for minor copy")
+	}
+	if !p.Swap.Overlap {
+		t.Error("ValidateFor mutated the receiver")
+	}
+	full := p.ValidateFor(PhaseFullCompact)
+	if !full.Swap.Overlap {
+		t.Error("overlap disabled for full compaction")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, ph := range Phases() {
+		if ph.String() == "unknown phase" {
+			t.Errorf("phase %d has no name", ph)
+		}
+	}
+	for _, o := range Optimizations() {
+		if o.String() == "unknown optimization" {
+			t.Errorf("optimization %d has no name", o)
+		}
+	}
+	if GCPhase(9).String() != "unknown phase" || Optimization(9).String() != "unknown optimization" {
+		t.Error("unknown enums mislabelled")
+	}
+}
+
+func TestBreakEvenMatchesPaperThreshold(t *testing.T) {
+	be, err := BreakEvenPages(sim.XeonGold6130(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be != DefaultThresholdPages {
+		t.Errorf("Gold 6130 break-even = %d pages, paper threshold is %d", be, DefaultThresholdPages)
+	}
+	be2, err := BreakEvenPages(sim.XeonGold6240(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be2 < 4 || be2 > 16 {
+		t.Errorf("Gold 6240 break-even = %d pages, expected near 10", be2)
+	}
+}
+
+func TestThresholdSweepMonotoneGap(t *testing.T) {
+	pts, err := ThresholdSweep(sim.XeonGold6130(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// memmove grows much faster than SwapVA with page count.
+	prevGap := pts[0].MemmoveNs - pts[0].SwapVANs
+	for _, p := range pts[1:] {
+		gap := p.MemmoveNs - p.SwapVANs
+		if gap <= prevGap {
+			t.Fatalf("memmove-swap gap not increasing at %d pages", p.Pages)
+		}
+		prevGap = gap
+	}
+}

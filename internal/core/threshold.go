@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// This file calibrates the swapping threshold (Fig. 10): it measures, on a
+// given machine configuration, the simulated cost of moving an n-page
+// object with SwapVA versus memmove and locates the break-even point. CPU
+// performance and memory bandwidth both shift the crossover, which is why
+// the paper evaluates it on two machines.
+
+// MoveCostPoint is one sample of the threshold sweep.
+type MoveCostPoint struct {
+	Pages     int
+	SwapVANs  sim.Time
+	MemmoveNs sim.Time
+}
+
+// MeasureMoveCosts measures a single-threaded SwapVA move and memmove of
+// the given page count on a fresh machine with the given cost model,
+// mirroring the paper's single-threaded Fig. 10 microbenchmark. Cold-cache
+// behaviour is used for both (large objects do not fit in cache anyway).
+func MeasureMoveCosts(cost *sim.CostModel, pages int) (MoveCostPoint, error) {
+	m, err := machine.New(machine.Config{Cost: cost})
+	if err != nil {
+		return MoveCostPoint{}, err
+	}
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	src, err := as.MapRegion(pages)
+	if err != nil {
+		return MoveCostPoint{}, err
+	}
+	dst, err := as.MapRegion(pages)
+	if err != nil {
+		return MoveCostPoint{}, err
+	}
+
+	swapCtx := m.NewContext(0)
+	if err := k.SwapVA(swapCtx, as, dst, src, pages, kernel.DefaultOptions()); err != nil {
+		return MoveCostPoint{}, err
+	}
+	moveCtx := m.NewContext(0)
+	if err := k.Memmove(moveCtx, as, dst, src, pages<<12); err != nil {
+		return MoveCostPoint{}, err
+	}
+	return MoveCostPoint{
+		Pages:     pages,
+		SwapVANs:  swapCtx.Clock.Now(),
+		MemmoveNs: moveCtx.Clock.Now(),
+	}, nil
+}
+
+// ThresholdSweep samples move costs for 1..maxPages pages.
+func ThresholdSweep(cost *sim.CostModel, maxPages int) ([]MoveCostPoint, error) {
+	points := make([]MoveCostPoint, 0, maxPages)
+	for p := 1; p <= maxPages; p++ {
+		pt, err := MeasureMoveCosts(cost, p)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// BreakEvenPages returns the smallest page count at which SwapVA is no
+// more expensive than memmove on the given machine, searching up to
+// maxPages. It returns maxPages+1 if memmove always wins in range.
+func BreakEvenPages(cost *sim.CostModel, maxPages int) (int, error) {
+	for p := 1; p <= maxPages; p++ {
+		pt, err := MeasureMoveCosts(cost, p)
+		if err != nil {
+			return 0, err
+		}
+		if pt.SwapVANs <= pt.MemmoveNs {
+			return p, nil
+		}
+	}
+	return maxPages + 1, nil
+}

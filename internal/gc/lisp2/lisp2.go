@@ -1,0 +1,210 @@
+// Package lisp2 implements the four-phase LISP2 mark-compact collector
+// (§II of the paper) with parallel phases, and serves as the engine for
+// every collector in this repository:
+//
+//   - SVAGC is LISP2 with the SwapVA move policy, request aggregation,
+//     and the pinned compaction of Algorithm 4 (package gc/svagc);
+//   - the memmove baseline is LISP2 with swapping disabled;
+//   - ParallelGC's full collections and sliding minor collections reuse
+//     the same phases over a sub-range (package gc/pargc);
+//   - the Shenandoah-like collector is LISP2 with concurrent marking and
+//     a single-threaded, non-work-stealing copy phase (package gc/shen).
+//
+// Parallelism is virtual: work items are attributed to per-worker
+// simulated clocks (round-robin for work stealing, static chunks without
+// it) and a phase lasts as long as its slowest worker.
+package lisp2
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Config tunes the collector.
+type Config struct {
+	// Workers is the GC thread count for mark/forward/adjust (default 4,
+	// the paper's GCThreadsCount in Fig. 2).
+	Workers int
+	// CompactWorkers overrides the worker count for the compaction
+	// phase; 0 means Workers. The Shenandoah-like collector sets 1.
+	CompactWorkers int
+	// Policy routes object moves (SwapVA vs memmove).
+	Policy core.MovePolicy
+	// Aggregate batches consecutive SwapVA moves into vectored calls
+	// (Fig. 5); per Table I it applies to full/major compaction.
+	Aggregate bool
+	// AggregateBatch bounds the vectored batch size (default 32).
+	AggregateBatch int
+	// PinnedCompaction enables Algorithm 4: pin compaction workers, shoot
+	// down all cores' TLBs once up front, then flush only locally.
+	PinnedCompaction bool
+	// WorkStealing selects balanced (round-robin) work attribution; when
+	// false, work is attributed in static chunks, modelling a collector
+	// without stealing.
+	WorkStealing bool
+	// ConcurrentMark charges the marking phase outside the pause,
+	// modelling a concurrent marker (the pause keeps a final-mark stub).
+	ConcurrentMark bool
+	// SafepointNs is the stop-the-world entry cost (default 20 µs).
+	SafepointNs sim.Time
+	// BarrierNs is the per-phase synchronisation cost (default 2 µs).
+	BarrierNs sim.Time
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 4
+	}
+	return c.Workers
+}
+
+func (c Config) compactWorkers() int {
+	if c.CompactWorkers <= 0 {
+		return c.workers()
+	}
+	return c.CompactWorkers
+}
+
+func (c Config) batch() int {
+	if c.AggregateBatch <= 0 {
+		return 32
+	}
+	return c.AggregateBatch
+}
+
+func (c Config) safepoint() sim.Time {
+	if c.SafepointNs <= 0 {
+		return 20 * sim.Microsecond
+	}
+	return c.SafepointNs
+}
+
+func (c Config) barrier() sim.Time {
+	if c.BarrierNs <= 0 {
+		return 2 * sim.Microsecond
+	}
+	return c.BarrierNs
+}
+
+// Collector is a LISP2 mark-compact collector over one heap.
+type Collector struct {
+	H     *heap.Heap
+	Roots *gc.RootSet
+
+	name  string
+	cfg   Config
+	stats gc.Stats
+}
+
+// New builds a collector. The name is reported by Name() and in results
+// ("svagc", "lisp2-memmove", ...).
+func New(name string, h *heap.Heap, roots *gc.RootSet, cfg Config) *Collector {
+	return &Collector{H: h, Roots: roots, name: name, cfg: cfg}
+}
+
+// Name implements gc.Collector.
+func (c *Collector) Name() string { return c.name }
+
+// Stats implements gc.Collector.
+func (c *Collector) Stats() *gc.Stats { return &c.stats }
+
+// Config returns the active configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Collect implements gc.Collector: a full collection of the entire heap.
+func (c *Collector) Collect(ctx *machine.Context, cause gc.Cause) (*gc.PauseInfo, error) {
+	return c.CollectRange(ctx, cause, c.H.Start(), gc.KindFull, nil)
+}
+
+// CollectRange collects and slides the range [from, top) down to from.
+// Objects below from are treated as immortal for this cycle and are
+// neither traced into nor moved. holders are objects below from whose
+// reference slots may point into the range (a generational remembered
+// set); their slots act as roots and are adjusted. A full collection
+// passes from = heap start and no holders.
+func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
+	from uint64, kind string, holders []heap.Object) (*gc.PauseInfo, error) {
+
+	pauseStart := ctx.Clock.Now()
+	ctx.Clock.Advance(c.cfg.safepoint())
+	if err := c.H.RetireAllTLABs(ctx); err != nil {
+		return nil, fmt.Errorf("lisp2: retiring TLABs: %w", err)
+	}
+
+	bus := ctx.M.Bus()
+	prevStreams := bus.SetStreams(c.cfg.workers())
+	defer bus.SetStreams(prevStreams)
+
+	pool := gc.NewPool(ctx, c.cfg.workers())
+	oldTop := c.H.Top()
+
+	t0 := pool.BarrierSync(0)
+	liveBytes, liveObjects, err := c.markPhase(pool, from, oldTop, holders)
+	if err != nil {
+		return nil, fmt.Errorf("lisp2: mark: %w", err)
+	}
+	t1 := pool.BarrierSync(c.cfg.barrier())
+
+	newTop, swapMoves, err := c.forwardPhase(pool, from, oldTop)
+	if err != nil {
+		return nil, fmt.Errorf("lisp2: forward: %w", err)
+	}
+	t2 := pool.BarrierSync(c.cfg.barrier())
+
+	if err := c.adjustPhase(pool, from, oldTop, holders); err != nil {
+		return nil, fmt.Errorf("lisp2: adjust: %w", err)
+	}
+	t3 := pool.BarrierSync(c.cfg.barrier())
+
+	if err := c.compactPhase(pool, from, oldTop, swapMoves); err != nil {
+		return nil, fmt.Errorf("lisp2: compact: %w", err)
+	}
+	t4 := pool.BarrierSync(c.cfg.barrier())
+
+	c.H.SetTop(newTop)
+	ctx.Clock.AdvanceTo(t4)
+
+	var poolPerf sim.Perf
+	pool.CollectPerf(&poolPerf)
+	ctx.Perf.Add(&poolPerf)
+
+	pause := &gc.PauseInfo{
+		Kind:  kind,
+		Cause: cause,
+		At:    pauseStart,
+		Total: t4 - pauseStart,
+		Phases: gc.PhaseTimes{
+			Mark:    t1 - t0,
+			Forward: t2 - t1,
+			Adjust:  t3 - t2,
+			Compact: t4 - t3,
+		},
+		LiveBytes:    liveBytes,
+		LiveObjects:  liveObjects,
+		MovedBytes:   poolPerf.BytesCopied,
+		SwappedPages: poolPerf.PagesSwapped,
+		SwapVACalls:  poolPerf.SwapVACalls,
+		MemmoveCalls: poolPerf.MemmoveCalls,
+		IPIs:         poolPerf.IPIsSent,
+	}
+	if c.cfg.ConcurrentMark {
+		// Marking ran concurrently with the mutators: take it out of the
+		// pause, keeping a final-mark stub (remark of the residual few
+		// percent plus a barrier), and book the bulk as concurrent work
+		// that the runtime charges against application time.
+		stub := c.cfg.barrier() + pause.Phases.Mark/20
+		if stub > pause.Phases.Mark {
+			stub = pause.Phases.Mark
+		}
+		c.stats.Concurrent += pause.Phases.Mark - stub
+		pause.Total -= pause.Phases.Mark - stub
+		pause.Phases.Mark = stub
+	}
+	c.stats.Pauses = append(c.stats.Pauses, *pause)
+	return pause, nil
+}

@@ -1,0 +1,527 @@
+package lisp2
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// world is a test fixture: a machine, heap, root set and collector, plus a
+// host-side model of the object graph for validation.
+type world struct {
+	t     *testing.T
+	m     *machine.Machine
+	k     *kernel.Kernel
+	h     *heap.Heap
+	roots *gc.RootSet
+	ctx   *machine.Context
+
+	// model: id -> spec; edges id -> []id; payload seeded by id.
+	specs map[int]heap.AllocSpec
+	edges map[int][]int
+	objs  map[int]*gc.Root // rooted objects only
+}
+
+func newWorld(t *testing.T, heapBytes int64, policy core.MovePolicy) *world {
+	t.Helper()
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	h, err := heap.New(as, k, heap.Config{SizeBytes: heapBytes, Policy: policy, ZeroOnAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{
+		t: t, m: m, k: k, h: h,
+		roots: &gc.RootSet{},
+		ctx:   m.NewContext(0),
+		specs: map[int]heap.AllocSpec{},
+		edges: map[int][]int{},
+		objs:  map[int]*gc.Root{},
+	}
+}
+
+func payloadFor(id, size int) []byte {
+	p := make([]byte, size)
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(id)*0x9E3779B97F4A7C15+1)
+	for i := range p {
+		p[i] = w[i%8] ^ byte(i)
+	}
+	return p
+}
+
+// alloc creates object id with the given refs slots and payload size,
+// roots it, and fills its payload with a signature.
+func (wd *world) alloc(id, numRefs, payload int, class uint16) *gc.Root {
+	wd.t.Helper()
+	spec := heap.AllocSpec{NumRefs: numRefs, Payload: payload, Class: class}
+	o, err := wd.h.Alloc(wd.ctx, nil, spec)
+	if err != nil {
+		wd.t.Fatalf("alloc %d: %v", id, err)
+	}
+	if err := wd.h.WritePayload(wd.ctx, o, numRefs, 0, payloadFor(id, payload)); err != nil {
+		wd.t.Fatal(err)
+	}
+	r := wd.roots.Add(o)
+	wd.specs[id] = spec
+	wd.objs[id] = r
+	return r
+}
+
+// link sets slot i of object a to object b and records the edge.
+func (wd *world) link(a, slot, b int) {
+	wd.t.Helper()
+	if err := wd.h.SetRef(wd.ctx, wd.objs[a].Obj, slot, wd.objs[b].Obj); err != nil {
+		wd.t.Fatal(err)
+	}
+	for len(wd.edges[a]) <= slot {
+		wd.edges[a] = append(wd.edges[a], -1)
+	}
+	wd.edges[a][slot] = b
+}
+
+// drop unroots object id (making it garbage unless referenced).
+func (wd *world) drop(id int) {
+	wd.roots.Remove(wd.objs[id])
+	delete(wd.objs, id)
+}
+
+// verify checks every rooted object: payload signature, class, and edges.
+func (wd *world) verify() {
+	wd.t.Helper()
+	for id, r := range wd.objs {
+		spec := wd.specs[id]
+		meta, err := wd.h.ReadMeta(wd.ctx, r.Obj)
+		if err != nil {
+			wd.t.Fatalf("object %d: %v", id, err)
+		}
+		if meta.NumRefs != spec.NumRefs || meta.Class != spec.Class {
+			wd.t.Fatalf("object %d: meta %+v, want %+v", id, meta, spec)
+		}
+		got := make([]byte, spec.Payload)
+		if err := wd.h.ReadPayload(wd.ctx, r.Obj, spec.NumRefs, 0, got); err != nil {
+			wd.t.Fatalf("object %d payload: %v", id, err)
+		}
+		if !bytes.Equal(got, payloadFor(id, spec.Payload)) {
+			wd.t.Fatalf("object %d payload corrupted after GC", id)
+		}
+		for slot, target := range wd.edges[id] {
+			if target < 0 {
+				continue
+			}
+			ref, err := wd.h.Ref(wd.ctx, r.Obj, slot)
+			if err != nil {
+				wd.t.Fatal(err)
+			}
+			want, ok := wd.objs[target]
+			if !ok {
+				continue // target unrooted; reachable via this edge, checked below
+			}
+			if ref != want.Obj {
+				wd.t.Fatalf("object %d slot %d: ref %#x, want %#x", id, slot, ref, want.Obj)
+			}
+		}
+	}
+	if err := wd.h.VerifyWalkable(); err != nil {
+		wd.t.Fatalf("heap not walkable after GC: %v", err)
+	}
+}
+
+func svagcConfig() Config {
+	return Config{
+		Workers:          4,
+		Policy:           core.DefaultPolicy(),
+		Aggregate:        true,
+		PinnedCompaction: true,
+		WorkStealing:     true,
+	}
+}
+
+func memmoveConfig() Config {
+	return Config{Workers: 4, Policy: core.MemmovePolicy(), WorkStealing: true}
+}
+
+func TestCollectEmptyHeap(t *testing.T) {
+	wd := newWorld(t, 1<<20, core.DefaultPolicy())
+	c := New("svagc", wd.h, wd.roots, svagcConfig())
+	pause, err := c.Collect(wd.ctx, gc.CauseExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.LiveObjects != 0 || pause.LiveBytes != 0 {
+		t.Errorf("empty heap: %+v", pause)
+	}
+	if wd.h.Top() != wd.h.Start() {
+		t.Error("top not reset on empty heap")
+	}
+	if c.Stats().Count("") != 1 {
+		t.Error("pause not recorded")
+	}
+}
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	wd := newWorld(t, 8<<20, core.DefaultPolicy())
+	c := New("svagc", wd.h, wd.roots, svagcConfig())
+	for i := 0; i < 20; i++ {
+		wd.alloc(i, 0, 1024, 1)
+	}
+	for i := 0; i < 20; i += 2 {
+		wd.drop(i)
+	}
+	usedBefore := wd.h.UsedBytes()
+	pause, err := c.Collect(wd.ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.LiveObjects != 10 {
+		t.Errorf("live objects = %d, want 10", pause.LiveObjects)
+	}
+	if wd.h.UsedBytes() >= usedBefore {
+		t.Error("no space reclaimed")
+	}
+	wd.verify()
+}
+
+func TestCollectPreservesGraph(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		c    Config
+	}{
+		{"svagc", svagcConfig()},
+		{"memmove", memmoveConfig()},
+		{"no-aggregate", func() Config { c := svagcConfig(); c.Aggregate = false; return c }()},
+		{"no-pin", func() Config { c := svagcConfig(); c.PinnedCompaction = false; return c }()},
+		{"static", func() Config { c := svagcConfig(); c.WorkStealing = false; return c }()},
+		{"one-worker", func() Config { c := svagcConfig(); c.Workers = 1; return c }()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			wd := newWorld(t, 32<<20, cfg.c.Policy)
+			c := New(cfg.name, wd.h, wd.roots, cfg.c)
+			rng := rand.New(rand.NewSource(7))
+			// A mix of small nodes and large (swappable) arrays, some
+			// garbage, cross references.
+			for i := 0; i < 40; i++ {
+				size := 64 + rng.Intn(512)
+				if i%5 == 0 {
+					size = 10*mem.PageSize + rng.Intn(4*mem.PageSize)
+				}
+				wd.alloc(i, 3, size, uint16(i%7))
+			}
+			for i := 0; i < 40; i++ {
+				wd.link(i, rng.Intn(3), rng.Intn(40))
+			}
+			for i := 0; i < 40; i += 3 {
+				wd.drop(i) // still reachable via edges from other roots
+			}
+			for round := 0; round < 3; round++ {
+				if _, err := c.Collect(wd.ctx, gc.CauseExplicit); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				wd.verify()
+			}
+		})
+	}
+}
+
+// TestSwapVAEquivalentToMemmoveCompaction is the central correctness
+// property: compacting the same heap with SwapVA produces exactly the
+// same logical object graph and contents as memmove-only compaction.
+func TestSwapVAEquivalentToMemmoveCompaction(t *testing.T) {
+	build := func(policy core.MovePolicy) (*world, *Collector) {
+		wd := newWorld(t, 32<<20, policy)
+		cfg := svagcConfig()
+		cfg.Policy = policy
+		c := New("x", wd.h, wd.roots, cfg)
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 30; i++ {
+			size := 128
+			if i%3 == 0 {
+				size = (10 + rng.Intn(8)) * mem.PageSize
+			}
+			wd.alloc(i, 2, size, uint16(i))
+		}
+		// Forward chains within the first half only, so the second half
+		// (ids 15..29) has no incoming edges and dropping its roots makes
+		// real garbage that forces the survivors to slide.
+		for i := 0; i < 14; i++ {
+			wd.link(i, 0, i+1)
+		}
+		for i := 15; i < 30; i += 2 {
+			wd.drop(i)
+		}
+		return wd, c
+	}
+
+	wdSwap, cSwap := build(core.DefaultPolicy())
+	wdMove, cMove := build(core.MemmovePolicy())
+	if _, err := cSwap.Collect(wdSwap.ctx, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cMove.Collect(wdMove.ctx, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	wdSwap.verify()
+	wdMove.verify()
+
+	// Same rooted ids must have identical payloads in both worlds.
+	for id, rs := range wdSwap.objs {
+		rm, ok := wdMove.objs[id]
+		if !ok {
+			t.Fatalf("root sets diverged at id %d", id)
+		}
+		spec := wdSwap.specs[id]
+		a := make([]byte, spec.Payload)
+		b := make([]byte, spec.Payload)
+		wdSwap.h.ReadPayload(wdSwap.ctx, rs.Obj, spec.NumRefs, 0, a)
+		wdMove.h.ReadPayload(wdMove.ctx, rm.Obj, spec.NumRefs, 0, b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("object %d differs between swap and memmove compaction", id)
+		}
+	}
+	// SwapVA run must actually have swapped, and copied far fewer bytes.
+	if cSwap.Stats().SwappedPages() == 0 {
+		t.Error("SwapVA compaction swapped no pages")
+	}
+	if cSwap.Stats().MovedBytes() >= cMove.Stats().MovedBytes() {
+		t.Errorf("swap run copied %d bytes, memmove run %d",
+			cSwap.Stats().MovedBytes(), cMove.Stats().MovedBytes())
+	}
+}
+
+func TestSwapVACompactionFasterOnLargeObjects(t *testing.T) {
+	run := func(policy core.MovePolicy) sim.Time {
+		wd := newWorld(t, 64<<20, policy)
+		cfg := svagcConfig()
+		cfg.Policy = policy
+		c := New("x", wd.h, wd.roots, cfg)
+		for i := 0; i < 24; i++ {
+			wd.alloc(i, 0, 40*mem.PageSize, 1) // large objects only
+		}
+		// Drop every other object so the survivors must slide.
+		for i := 0; i < 24; i += 2 {
+			wd.drop(i)
+		}
+		pause, err := c.Collect(wd.ctx, gc.CauseExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pause.Phases.Compact
+	}
+	swap := run(core.DefaultPolicy())
+	move := run(core.MemmovePolicy())
+	if swap >= move {
+		t.Errorf("SwapVA compaction %v not faster than memmove %v", swap, move)
+	}
+	if move < 3*swap {
+		t.Logf("note: speedup only %.1fx", float64(move)/float64(swap))
+	}
+}
+
+func TestPinnedCompactionReducesIPIs(t *testing.T) {
+	run := func(pinned bool) uint64 {
+		wd := newWorld(t, 64<<20, core.DefaultPolicy())
+		cfg := svagcConfig()
+		cfg.PinnedCompaction = pinned
+		cfg.Aggregate = false // isolate the pinning effect
+		c := New("x", wd.h, wd.roots, cfg)
+		for i := 0; i < 30; i++ {
+			wd.alloc(i, 0, 12*mem.PageSize, 1)
+		}
+		for i := 0; i < 30; i += 2 {
+			wd.drop(i)
+		}
+		pause, err := c.Collect(wd.ctx, gc.CauseExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pause.IPIs
+	}
+	unpinned := run(false)
+	pinned := run(true)
+	if pinned >= unpinned {
+		t.Errorf("pinned compaction IPIs %d not below unpinned %d", pinned, unpinned)
+	}
+	// Algorithm 4: exactly two broadcasts (opening and closing shootdown,
+	// cores-1 IPIs each) in pinned mode, independent of object count.
+	if want := uint64(2 * 31); pinned != want {
+		t.Errorf("pinned IPIs = %d, want %d (two broadcasts)", pinned, want)
+	}
+}
+
+func TestAggregationReducesSyscallsInCompaction(t *testing.T) {
+	run := func(aggregate bool) (sim.Time, uint64) {
+		wd := newWorld(t, 64<<20, core.DefaultPolicy())
+		cfg := svagcConfig()
+		cfg.Aggregate = aggregate
+		c := New("x", wd.h, wd.roots, cfg)
+		for i := 0; i < 40; i++ {
+			wd.alloc(i, 0, 10*mem.PageSize, 1)
+		}
+		for i := 0; i < 40; i += 2 {
+			wd.drop(i)
+		}
+		pause, err := c.Collect(wd.ctx, gc.CauseExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd.verify()
+		return pause.Phases.Compact, pause.SwapVACalls
+	}
+	aggTime, aggCalls := run(true)
+	sepTime, sepCalls := run(false)
+	if aggCalls >= sepCalls {
+		t.Errorf("aggregation made %d calls, separate %d", aggCalls, sepCalls)
+	}
+	if aggTime >= sepTime {
+		t.Errorf("aggregated compaction %v not faster than separate %v", aggTime, sepTime)
+	}
+}
+
+func TestCollectRangeMinor(t *testing.T) {
+	// A generational-style range collection: objects below `from` are
+	// immortal; a holder below from keeps a young object alive.
+	wd := newWorld(t, 16<<20, core.DefaultPolicy())
+	cfg := svagcConfig()
+	c := New("x", wd.h, wd.roots, cfg)
+
+	oldR := wd.alloc(0, 2, 256, 1) // will be "old"
+	from := wd.h.Top()
+
+	wd.alloc(2, 0, 512, 3) // young garbage after drop, below the survivor
+	youngKept := wd.alloc(1, 0, 512, 2)
+	wd.link(0, 0, 1) // old -> young edge
+
+	// Unroot both young objects; object 1 survives via the holder edge.
+	wd.drop(1)
+	youngKeptVA := youngKept.Obj
+	wd.drop(2)
+
+	pause, err := c.CollectRange(wd.ctx, gc.CauseAllocFailure, from, gc.KindMinor, []heap.Object{oldR.Obj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.Kind != gc.KindMinor {
+		t.Errorf("kind = %q", pause.Kind)
+	}
+	if pause.LiveObjects != 1 {
+		t.Errorf("live young objects = %d, want 1", pause.LiveObjects)
+	}
+	// The old object must not have moved.
+	if oldR.Obj.VA() >= from {
+		t.Error("old object moved by minor collection")
+	}
+	// The holder's slot must now point at the slid-down young object.
+	got, err := wd.h.Ref(wd.ctx, oldR.Obj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VA() != from {
+		t.Errorf("holder slot = %#x, want %#x (slid to range start)", got.VA(), from)
+	}
+	if got == youngKeptVA {
+		t.Error("young object did not move at all")
+	}
+	meta, _ := wd.h.ReadMeta(wd.ctx, got)
+	if meta.Class != 2 {
+		t.Errorf("survivor class = %d, want 2", meta.Class)
+	}
+}
+
+func TestConcurrentMarkMovesMarkOutOfPause(t *testing.T) {
+	run := func(concurrent bool) (*gc.PauseInfo, *Collector) {
+		wd := newWorld(t, 16<<20, core.MemmovePolicy())
+		cfg := memmoveConfig()
+		cfg.ConcurrentMark = concurrent
+		c := New("x", wd.h, wd.roots, cfg)
+		for i := 0; i < 200; i++ {
+			wd.alloc(i, 2, 600, 1)
+		}
+		for i := 0; i < 200; i++ {
+			wd.link(i, 0, (i+1)%200)
+		}
+		pause, err := c.Collect(wd.ctx, gc.CauseExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pause, c
+	}
+	stw, cStw := run(false)
+	conc, cConc := run(true)
+	if cStw.Stats().Concurrent != 0 {
+		t.Error("STW collector booked concurrent time")
+	}
+	if cConc.Stats().Concurrent == 0 {
+		t.Error("concurrent collector booked no concurrent time")
+	}
+	if conc.Total >= stw.Total {
+		t.Errorf("concurrent-mark pause %v not below STW pause %v", conc.Total, stw.Total)
+	}
+	if conc.Phases.Mark >= stw.Phases.Mark {
+		t.Error("final-mark stub not smaller than full mark")
+	}
+}
+
+func TestPauseRecordsPhases(t *testing.T) {
+	wd := newWorld(t, 16<<20, core.DefaultPolicy())
+	c := New("x", wd.h, wd.roots, svagcConfig())
+	for i := 0; i < 10; i++ {
+		wd.alloc(i, 1, 12*mem.PageSize, 1)
+	}
+	for i := 0; i < 10; i += 2 {
+		wd.drop(i)
+	}
+	pause, err := c.Collect(wd.ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pause.Phases
+	if pt.Mark <= 0 || pt.Forward <= 0 || pt.Adjust <= 0 || pt.Compact <= 0 {
+		t.Errorf("phase times not all positive: %+v", pt)
+	}
+	if pause.Total < pt.Total() {
+		t.Errorf("pause %v less than phase sum %v", pause.Total, pt.Total())
+	}
+	if pt.Other() != pt.Mark+pt.Forward+pt.Adjust {
+		t.Error("Other() mismatch")
+	}
+	if pause.Cause != gc.CauseAllocFailure {
+		t.Error("cause not recorded")
+	}
+	if pause.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRepeatedCollectionsStable(t *testing.T) {
+	// Collecting an already-compacted heap must be idempotent on layout.
+	wd := newWorld(t, 16<<20, core.DefaultPolicy())
+	c := New("x", wd.h, wd.roots, svagcConfig())
+	for i := 0; i < 15; i++ {
+		wd.alloc(i, 1, 11*mem.PageSize, 1)
+	}
+	if _, err := c.Collect(wd.ctx, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	top1 := wd.h.Top()
+	pause2, err := c.Collect(wd.ctx, gc.CauseExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.h.Top() != top1 {
+		t.Errorf("top moved on idempotent collection: %#x -> %#x", top1, wd.h.Top())
+	}
+	if pause2.MovedBytes != 0 || pause2.SwappedPages != 0 {
+		t.Errorf("idempotent collection moved data: %+v", pause2)
+	}
+	wd.verify()
+}

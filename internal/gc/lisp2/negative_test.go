@@ -1,0 +1,120 @@
+package lisp2
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+)
+
+// Negative-path tests: the collector must detect a corrupted heap rather
+// than silently compacting garbage over live data.
+
+func TestCollectDetectsCorruptHeader(t *testing.T) {
+	wd := newWorld(t, 4<<20, core.DefaultPolicy())
+	c := New("x", wd.h, wd.roots, svagcConfig())
+	wd.alloc(0, 0, 4096, 1)
+	wd.alloc(1, 0, 4096, 2)
+
+	// Smash the second object's size word.
+	var zero [8]byte
+	if err := wd.h.AS.RawWrite(wd.objs[1].Obj.VA(), zero[:]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Collect(wd.ctx, gc.CauseExplicit)
+	if err == nil {
+		t.Fatal("collection of a corrupt heap succeeded")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("err = %v, want a corruption report", err)
+	}
+}
+
+func TestCollectDetectsOversizedHeader(t *testing.T) {
+	wd := newWorld(t, 4<<20, core.DefaultPolicy())
+	c := New("x", wd.h, wd.roots, svagcConfig())
+	r := wd.alloc(0, 0, 128, 1)
+
+	// Inflate the size field far past the heap top.
+	huge := uint64(1 << 40)
+	buf := make([]byte, 8)
+	for i := range buf {
+		buf[i] = byte(huge >> (8 * i))
+	}
+	if err := wd.h.AS.RawWrite(r.Obj.VA(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Collect(wd.ctx, gc.CauseExplicit); err == nil {
+		t.Fatal("collection with an oversized header succeeded")
+	}
+}
+
+func TestCollectErrorsOnUnretirableState(t *testing.T) {
+	// A root pointing outside the heap must simply be ignored by marking
+	// (roots are filtered by range), not crash the cycle.
+	wd := newWorld(t, 4<<20, core.DefaultPolicy())
+	c := New("x", wd.h, wd.roots, svagcConfig())
+	wd.alloc(0, 0, 128, 1)
+	bogus := wd.roots.Add(0xdead0000) // far outside the heap
+	pause, err := c.Collect(wd.ctx, gc.CauseExplicit)
+	if err != nil {
+		t.Fatalf("out-of-heap root broke the cycle: %v", err)
+	}
+	if pause.LiveObjects != 1 {
+		t.Errorf("live = %d, want 1", pause.LiveObjects)
+	}
+	wd.roots.Remove(bogus)
+	wd.verify()
+}
+
+func TestWorkerCountSweepPreservesGraph(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		cfg := svagcConfig()
+		cfg.Workers = workers
+		wd := newWorld(t, 16<<20, cfg.Policy)
+		c := New("x", wd.h, wd.roots, cfg)
+		for i := 0; i < 24; i++ {
+			size := 256
+			if i%4 == 0 {
+				size = 12 << 12
+			}
+			wd.alloc(i, 2, size, uint16(i))
+		}
+		for i := 0; i < 24; i++ {
+			wd.link(i, 0, (i+5)%24)
+		}
+		for i := 0; i < 24; i += 3 {
+			wd.drop(i)
+		}
+		if _, err := c.Collect(wd.ctx, gc.CauseExplicit); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		wd.verify()
+	}
+}
+
+// More workers must never lengthen a phase under balanced attribution.
+func TestMoreWorkersNotSlower(t *testing.T) {
+	run := func(workers int) float64 {
+		cfg := memmoveConfig()
+		cfg.Workers = workers
+		wd := newWorld(t, 16<<20, cfg.Policy)
+		c := New("x", wd.h, wd.roots, cfg)
+		for i := 0; i < 40; i++ {
+			wd.alloc(i, 1, 40<<10, 1)
+		}
+		for i := 0; i < 40; i += 2 {
+			wd.drop(i)
+		}
+		p, err := c.Collect(wd.ctx, gc.CauseExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(p.Total)
+	}
+	one, four := run(1), run(4)
+	if four >= one {
+		t.Errorf("4 workers (%v) not faster than 1 (%v)", four, one)
+	}
+}

@@ -1,0 +1,209 @@
+package pargc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	m     *machine.Machine
+	h     *heap.Heap
+	roots *gc.RootSet
+	c     *Collector
+	ctx   *machine.Context
+}
+
+func newFixture(t *testing.T, heapBytes int64) *fixture {
+	t.Helper()
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	h, err := heap.New(as, k, heap.Config{SizeBytes: heapBytes, Policy: core.MemmovePolicy(), ZeroOnAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := &gc.RootSet{}
+	return &fixture{m: m, h: h, roots: roots, c: New(h, roots, Config{Workers: 4}), ctx: m.NewContext(0)}
+}
+
+// alloc allocates with the JVM-style collect-and-retry loop (the eden
+// soft limit makes first-attempt failures routine).
+func (f *fixture) alloc(t *testing.T, payload int, class uint16) *gc.Root {
+	t.Helper()
+	spec := heap.AllocSpec{NumRefs: 2, Payload: payload, Class: class}
+	for attempt := 0; attempt < 5; attempt++ {
+		o, err := f.h.Alloc(f.ctx, nil, spec)
+		if err == nil {
+			return f.roots.Add(o)
+		}
+		if err != heap.ErrHeapFull {
+			t.Fatal(err)
+		}
+		if _, err := f.c.Collect(f.ctx, gc.CauseAllocFailure); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatalf("alloc of %d bytes kept failing", payload)
+	return nil
+}
+
+func TestMinorPromotesSurvivors(t *testing.T) {
+	f := newFixture(t, 16<<20)
+	// Mature an object first.
+	old := f.alloc(t, 128, 1)
+	if _, err := f.c.CollectFull(f.ctx, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	matureTop := f.c.MatureTop()
+	if old.Obj.VA() >= matureTop {
+		t.Fatal("object not mature after full GC")
+	}
+
+	// Young survivors and garbage.
+	kept := f.alloc(t, 256, 2)
+	dead := f.alloc(t, 256, 3)
+	f.roots.Remove(dead) // garbage
+	_ = dead
+
+	pause, err := f.c.CollectMinor(f.ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.Kind != gc.KindMinor {
+		t.Errorf("kind %q", pause.Kind)
+	}
+	if pause.LiveObjects != 1 {
+		t.Errorf("minor live objects = %d, want 1", pause.LiveObjects)
+	}
+	// Survivor promoted: below new mature boundary.
+	if kept.Obj.VA() >= f.c.MatureTop() {
+		t.Error("survivor not promoted")
+	}
+	// Old object untouched by the minor.
+	if old.Obj.VA() >= matureTop {
+		t.Error("mature object moved by minor GC")
+	}
+	if err := f.h.VerifyWalkable(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBarrierMaintainsRemset(t *testing.T) {
+	f := newFixture(t, 16<<20)
+	old := f.alloc(t, 128, 1)
+	f.c.CollectFull(f.ctx, gc.CauseExplicit)
+
+	young := f.alloc(t, 64, 2)
+	// Old -> young store must hit the remembered set.
+	if err := f.h.SetRef(f.ctx, old.Obj, 0, young.Obj); err != nil {
+		t.Fatal(err)
+	}
+	if f.c.RemsetSize() != 1 {
+		t.Fatalf("remset size = %d, want 1", f.c.RemsetSize())
+	}
+	// Young -> young store must not.
+	young2 := f.alloc(t, 64, 3)
+	f.h.SetRef(f.ctx, young.Obj, 0, young2.Obj)
+	if f.c.RemsetSize() != 1 {
+		t.Errorf("young->young store grew remset to %d", f.c.RemsetSize())
+	}
+	// Null store must not.
+	f.h.SetRef(f.ctx, old.Obj, 1, 0)
+	if f.c.RemsetSize() != 1 {
+		t.Errorf("null store grew remset to %d", f.c.RemsetSize())
+	}
+}
+
+func TestRemsetKeepsUnrootedYoungAlive(t *testing.T) {
+	f := newFixture(t, 16<<20)
+	old := f.alloc(t, 128, 1)
+	f.c.CollectFull(f.ctx, gc.CauseExplicit)
+
+	young := f.alloc(t, 64, 7)
+	f.h.SetRef(f.ctx, old.Obj, 0, young.Obj)
+	f.roots.Remove(young) // only the old->young edge keeps it alive
+
+	pause, err := f.c.CollectMinor(f.ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.LiveObjects != 1 {
+		t.Fatalf("remset-rooted young object died (live=%d)", pause.LiveObjects)
+	}
+	// The holder's slot must have been adjusted to the promoted address.
+	got, err := f.h.Ref(f.ctx, old.Obj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := f.h.ReadMeta(f.ctx, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Class != 7 {
+		t.Errorf("holder slot points at class %d, want 7", meta.Class)
+	}
+	if f.c.RemsetSize() != 0 {
+		t.Error("remset not cleared after minor GC")
+	}
+}
+
+func TestCollectEscalatesToFullWhenTight(t *testing.T) {
+	f := newFixture(t, 2<<20)
+	// Fill almost the whole heap with live data so a minor can't free
+	// enough to clear the escalation threshold.
+	var roots []*gc.Root
+	for i := 0; i < 14; i++ {
+		roots = append(roots, f.alloc(t, 128<<10, 1))
+	}
+	_ = roots
+	if _, err := f.c.Collect(f.ctx, gc.CauseAllocFailure); err != nil {
+		t.Fatal(err)
+	}
+	stats := f.c.Stats()
+	if stats.Count(gc.KindFull) == 0 {
+		t.Error("no full collection despite tight heap")
+	}
+}
+
+func TestCollectPrefersMinorWhenRoomy(t *testing.T) {
+	f := newFixture(t, 32<<20)
+	f.c.CollectFull(f.ctx, gc.CauseExplicit) // establish boundary
+	fullsBefore := f.c.Stats().Count(gc.KindFull)
+	for i := 0; i < 20; i++ {
+		r := f.alloc(t, 32<<10, 1)
+		f.roots.Remove(r) // young garbage
+	}
+	if _, err := f.c.Collect(f.ctx, gc.CauseAllocFailure); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.c.Stats().Count(gc.KindMinor); got != 1 {
+		t.Errorf("minor count = %d, want 1", got)
+	}
+	if f.c.Stats().Count(gc.KindFull) != fullsBefore {
+		t.Error("unnecessary full collection")
+	}
+}
+
+func TestExplicitCauseGoesFull(t *testing.T) {
+	f := newFixture(t, 16<<20)
+	f.alloc(t, 1<<20, 1)
+	if _, err := f.c.Collect(f.ctx, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	if f.c.Stats().Count(gc.KindFull) != 1 || f.c.Stats().Count(gc.KindMinor) != 0 {
+		t.Error("explicit collection did not go straight to full")
+	}
+}
+
+func TestNameAndInterfaces(t *testing.T) {
+	f := newFixture(t, 1<<20)
+	if f.c.Name() != "parallelgc" {
+		t.Errorf("name %q", f.c.Name())
+	}
+}

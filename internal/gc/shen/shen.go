@@ -1,0 +1,63 @@
+// Package shen implements the Shenandoah-like baseline the paper compares
+// against: a pause-oriented collector that marks concurrently with the
+// mutators but — as the paper points out in §V-A — copies without work
+// stealing or parallelism in its compaction phase, which makes its
+// moving-dominated pauses the worst of the three collectors on large
+// objects. Concurrent marking time is booked separately and charged
+// against application throughput by the runtime.
+//
+// The model captures the behaviour the paper measures (full-collection
+// pauses under large-object pressure); the region/cset machinery of the
+// real Shenandoah is intentionally not reproduced, since at the paper's
+// 1.2–2× minimum heap sizes the real collector also degenerates to full
+// compactions.
+package shen
+
+import (
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/gc/lisp2"
+	"repro/internal/heap"
+)
+
+// Config tunes the collector.
+type Config struct {
+	// Workers is the thread count for the marking and pointer-fixup
+	// phases (default 4). The copy phase always runs on one worker.
+	Workers int
+	// UseSwapVA routes large-object relocation through SwapVA — the
+	// Table I "Concurrent (Evacuation, Reloc.)" row, an extension beyond
+	// the paper's prototype. Per the matrix, neither aggregation (each
+	// relocation is independent) nor the overlap optimisation (source
+	// and destination share no addressable area) applies; every call
+	// therefore pays a full shootdown broadcast. The heap must be built
+	// with the matching aligned policy (see Policy).
+	UseSwapVA bool
+}
+
+// Policy returns the allocation/move policy matching cfg.
+func Policy(cfg Config) core.MovePolicy {
+	if !cfg.UseSwapVA {
+		return core.MemmovePolicy()
+	}
+	p := core.DefaultPolicy().ValidateFor(core.PhaseConcurrentEvac)
+	return p
+}
+
+// New builds the Shenandoah-like collector over h. The heap must be
+// built with Policy(cfg).
+func New(h *heap.Heap, roots *gc.RootSet, cfg Config) *lisp2.Collector {
+	name := "shenandoah"
+	if cfg.UseSwapVA {
+		name = "shenandoah-swapva"
+	}
+	return lisp2.New(name, h, roots, lisp2.Config{
+		Workers:        cfg.Workers,
+		CompactWorkers: 1,
+		Policy:         Policy(cfg),
+		WorkStealing:   false,
+		ConcurrentMark: true,
+		// No aggregation and no pinning: Table I rules for the
+		// concurrent evacuation phase.
+	})
+}

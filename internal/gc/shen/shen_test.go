@@ -1,0 +1,116 @@
+package shen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/gc/svagc"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func build(t *testing.T, policy core.MovePolicy) (*heap.Heap, *gc.RootSet, *machine.Context) {
+	t.Helper()
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	h, err := heap.New(as, k, heap.Config{SizeBytes: 64 << 20, Policy: policy, ZeroOnAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, &gc.RootSet{}, m.NewContext(0)
+}
+
+// populate fills the heap with large objects and kills half of them.
+func populate(t *testing.T, h *heap.Heap, roots *gc.RootSet, ctx *machine.Context) {
+	t.Helper()
+	var rs []*gc.Root
+	for i := 0; i < 24; i++ {
+		o, err := h.Alloc(ctx, nil, heap.AllocSpec{Payload: 20 * mem.PageSize, Class: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, roots.Add(o))
+	}
+	for i := 0; i < 24; i += 2 {
+		roots.Remove(rs[i])
+	}
+}
+
+func TestShenConcurrentMarkBooked(t *testing.T) {
+	h, roots, ctx := build(t, core.MemmovePolicy())
+	c := New(h, roots, Config{Workers: 4})
+	populate(t, h, roots, ctx)
+	pause, err := c.Collect(ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Concurrent == 0 {
+		t.Error("no concurrent mark time booked")
+	}
+	if pause.Phases.Compact == 0 {
+		t.Error("no compaction happened")
+	}
+	if err := h.VerifyWalkable(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's §V-A comparison: Shenandoah's single-threaded, non-stealing
+// copy phase makes its pause the worst; SVAGC's swap-based compaction the
+// best.
+func TestShenPauseWorstSVAGCBest(t *testing.T) {
+	type result struct {
+		name    string
+		compact sim.Time
+	}
+	var results []result
+
+	{
+		h, roots, ctx := build(t, core.MemmovePolicy())
+		c := New(h, roots, Config{Workers: 4})
+		populate(t, h, roots, ctx)
+		p, err := c.Collect(ctx, gc.CauseAllocFailure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, result{"shen", p.Phases.Compact})
+	}
+	{
+		h, roots, ctx := build(t, core.MemmovePolicy())
+		c := svagc.New(h, roots, svagc.Config{Workers: 4, DisableSwapVA: true})
+		populate(t, h, roots, ctx)
+		p, err := c.Collect(ctx, gc.CauseAllocFailure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, result{"parallel-memmove", p.Phases.Compact})
+	}
+	{
+		h, roots, ctx := build(t, core.DefaultPolicy())
+		c := svagc.New(h, roots, svagc.Config{Workers: 4})
+		populate(t, h, roots, ctx)
+		p, err := c.Collect(ctx, gc.CauseAllocFailure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, result{"svagc", p.Phases.Compact})
+	}
+
+	shenT, parT, svagcT := results[0].compact, results[1].compact, results[2].compact
+	if !(svagcT < parT && parT < shenT) {
+		t.Errorf("expected svagc < parallel < shen, got svagc=%v parallel=%v shen=%v",
+			svagcT, parT, shenT)
+	}
+}
+
+func TestShenName(t *testing.T) {
+	h, roots, _ := build(t, core.MemmovePolicy())
+	if got := New(h, roots, Config{}).Name(); got != "shenandoah" {
+		t.Errorf("name %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Collection kinds used in PauseInfo.Kind.
+const (
+	KindFull  = "full"
+	KindMinor = "minor"
+)
+
+// PhaseTimes breaks a pause into the four LISP2 phases (Fig. 1's
+// categories). Collectors without a phase leave it zero.
+type PhaseTimes struct {
+	Mark    sim.Time
+	Forward sim.Time
+	Adjust  sim.Time
+	Compact sim.Time
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimes) Total() sim.Time { return p.Mark + p.Forward + p.Adjust + p.Compact }
+
+// Other returns everything except compaction — the paper's "all GC phases
+// except compaction" red bars.
+func (p PhaseTimes) Other() sim.Time { return p.Mark + p.Forward + p.Adjust }
+
+// PauseInfo records one stop-the-world pause.
+type PauseInfo struct {
+	Kind   string // KindFull or KindMinor
+	Cause  Cause
+	At     sim.Time // simulated start instant
+	Total  sim.Time // full pause duration (includes safepoint entry)
+	Phases PhaseTimes
+
+	LiveBytes    uint64
+	LiveObjects  uint64
+	MovedBytes   uint64 // bytes physically copied (memmove traffic)
+	SwappedPages uint64
+	SwapVACalls  uint64
+	MemmoveCalls uint64
+	IPIs         uint64
+}
+
+// String summarises the pause.
+func (p *PauseInfo) String() string {
+	return fmt.Sprintf("%s pause %v (mark %v, fwd %v, adj %v, compact %v; live %dB, swapped %d pages, copied %dB)",
+		p.Kind, p.Total, p.Phases.Mark, p.Phases.Forward, p.Phases.Adjust, p.Phases.Compact,
+		p.LiveBytes, p.SwappedPages, p.MovedBytes)
+}
+
+// Stats accumulates a collector's history.
+type Stats struct {
+	Pauses []PauseInfo
+	// Concurrent is GC work done outside pauses (concurrent marking in
+	// the Shenandoah-like collector); the runtime charges it against
+	// application time.
+	Concurrent sim.Time
+}
+
+// Count returns the number of pauses of the given kind ("" = all).
+func (s *Stats) Count(kind string) int {
+	n := 0
+	for i := range s.Pauses {
+		if kind == "" || s.Pauses[i].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalPause sums pause durations of the given kind ("" = all).
+func (s *Stats) TotalPause(kind string) sim.Time {
+	var t sim.Time
+	for i := range s.Pauses {
+		if kind == "" || s.Pauses[i].Kind == kind {
+			t += s.Pauses[i].Total
+		}
+	}
+	return t
+}
+
+// MaxPause returns the longest pause of the given kind ("" = all).
+func (s *Stats) MaxPause(kind string) sim.Time {
+	var m sim.Time
+	for i := range s.Pauses {
+		if (kind == "" || s.Pauses[i].Kind == kind) && s.Pauses[i].Total > m {
+			m = s.Pauses[i].Total
+		}
+	}
+	return m
+}
+
+// AvgPause returns the mean pause of the given kind ("" = all), 0 if none.
+func (s *Stats) AvgPause(kind string) sim.Time {
+	n := s.Count(kind)
+	if n == 0 {
+		return 0
+	}
+	return s.TotalPause(kind) / sim.Time(n)
+}
+
+// PhaseTotals sums the phase breakdown over pauses of the given kind.
+func (s *Stats) PhaseTotals(kind string) PhaseTimes {
+	var pt PhaseTimes
+	for i := range s.Pauses {
+		if kind == "" || s.Pauses[i].Kind == kind {
+			pt.Mark += s.Pauses[i].Phases.Mark
+			pt.Forward += s.Pauses[i].Phases.Forward
+			pt.Adjust += s.Pauses[i].Phases.Adjust
+			pt.Compact += s.Pauses[i].Phases.Compact
+		}
+	}
+	return pt
+}
+
+// SwappedPages sums pages moved by SwapVA across all pauses.
+func (s *Stats) SwappedPages() uint64 {
+	var n uint64
+	for i := range s.Pauses {
+		n += s.Pauses[i].SwappedPages
+	}
+	return n
+}
+
+// MovedBytes sums memmove traffic across all pauses.
+func (s *Stats) MovedBytes() uint64 {
+	var n uint64
+	for i := range s.Pauses {
+		n += s.Pauses[i].MovedBytes
+	}
+	return n
+}

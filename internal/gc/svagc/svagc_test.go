@@ -1,0 +1,223 @@
+package svagc
+
+import (
+	"testing"
+
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func build(t *testing.T, cfg Config) (*heap.Heap, *gc.RootSet, *machine.Context) {
+	t.Helper()
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	h, err := heap.New(as, k, heap.Config{SizeBytes: 64 << 20, Policy: Policy(cfg), ZeroOnAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, &gc.RootSet{}, m.NewContext(0)
+}
+
+func churn(t *testing.T, h *heap.Heap, roots *gc.RootSet, ctx *machine.Context) {
+	t.Helper()
+	var rs []*gc.Root
+	for i := 0; i < 30; i++ {
+		o, err := h.Alloc(ctx, nil, heap.AllocSpec{Payload: 15 * mem.PageSize, Class: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, roots.Add(o))
+	}
+	for i := 0; i < 30; i += 2 {
+		roots.Remove(rs[i])
+	}
+}
+
+func TestDefaultConfigUsesEverything(t *testing.T) {
+	cfg := Config{Workers: 4}
+	h, roots, ctx := build(t, cfg)
+	c := New(h, roots, cfg)
+	if c.Name() != "svagc" {
+		t.Errorf("name %q", c.Name())
+	}
+	churn(t, h, roots, ctx)
+	pause, err := c.Collect(ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.SwappedPages == 0 {
+		t.Error("default SVAGC swapped nothing")
+	}
+	if pause.SwapVACalls == 0 {
+		t.Error("no SwapVA calls recorded")
+	}
+	// Aggregation + pinning: at most a handful of IPI broadcasts.
+	if pause.IPIs > uint64(2*(sim.XeonGold6130().Cores-1)) {
+		t.Errorf("too many IPIs for pinned+aggregated compaction: %d", pause.IPIs)
+	}
+}
+
+func TestDisableSwapVAIsBaseline(t *testing.T) {
+	cfg := Config{Workers: 4, DisableSwapVA: true}
+	h, roots, ctx := build(t, cfg)
+	c := New(h, roots, cfg)
+	if c.Name() != "svagc-memmove" {
+		t.Errorf("name %q", c.Name())
+	}
+	churn(t, h, roots, ctx)
+	pause, err := c.Collect(ctx, gc.CauseAllocFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pause.SwappedPages != 0 || pause.SwapVACalls != 0 {
+		t.Error("baseline used SwapVA")
+	}
+	if pause.MovedBytes == 0 {
+		t.Error("baseline moved nothing")
+	}
+}
+
+func TestThresholdOverride(t *testing.T) {
+	p := Policy(Config{ThresholdPages: 25})
+	if p.ThresholdPages != 25 {
+		t.Errorf("threshold %d", p.ThresholdPages)
+	}
+	if p.Swappable(20 * mem.PageSize) {
+		t.Error("20 pages swappable at threshold 25")
+	}
+	if !p.Swappable(25 * mem.PageSize) {
+		t.Error("25 pages not swappable at threshold 25")
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	p := Policy(Config{DisablePMDCaching: true, DisableOverlap: true})
+	if p.Swap.PMDCaching {
+		t.Error("PMD caching still on")
+	}
+	if p.Swap.Overlap {
+		t.Error("overlap still on")
+	}
+	full := New(nil, nil, Config{DisableAggregation: true})
+	if full.Config().Aggregate {
+		t.Error("aggregation still on")
+	}
+	noPin := New(nil, nil, Config{DisablePinning: true})
+	if noPin.Config().PinnedCompaction {
+		t.Error("pinning still on")
+	}
+	// Disabling SwapVA also disables aggregation (nothing to aggregate).
+	base := New(nil, nil, Config{DisableSwapVA: true})
+	if base.Config().Aggregate {
+		t.Error("aggregation on in memmove baseline")
+	}
+}
+
+// TestHugePagesExtension drives multi-MiB objects through a collection
+// with and without PMD-level swapping: both must preserve the data, and
+// the huge mode must be cheaper and actually exchange PMD entries.
+func TestHugePagesExtension(t *testing.T) {
+	run := func(huge bool) (sim.Time, uint64) {
+		cfg := Config{Workers: 4, HugePages: huge}
+		h, roots, ctx := build(t, cfg)
+		c := New(h, roots, cfg)
+		// 4 MiB payloads; drop every other one so survivors slide by
+		// multi-MiB distances.
+		var rs []*gc.Root
+		payload := make([]byte, 4<<20)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		for i := 0; i < 6; i++ {
+			o, err := h.Alloc(ctx, nil, heap.AllocSpec{Payload: len(payload), Class: uint16(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.WritePayload(ctx, o, 0, 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, roots.Add(o))
+		}
+		for i := 0; i < 6; i += 2 {
+			roots.Remove(rs[i])
+		}
+		pause, err := c.Collect(ctx, gc.CauseExplicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Survivors intact?
+		got := make([]byte, len(payload))
+		for i := 1; i < 6; i += 2 {
+			if err := h.ReadPayload(ctx, rs[i].Obj, 0, 0, got); err != nil {
+				t.Fatal(err)
+			}
+			for j := range got {
+				if got[j] != payload[j] {
+					t.Fatalf("huge=%v: object %d corrupted at %d", huge, i, j)
+				}
+			}
+		}
+		if err := h.VerifyWalkable(); err != nil {
+			t.Fatalf("huge=%v: %v", huge, err)
+		}
+		var perf sim.Perf
+		perf.Add(ctx.Perf)
+		return pause.Phases.Compact, perf.PMDSwaps
+	}
+	pteCompact, ptePMD := run(false)
+	hugeCompact, hugePMD := run(true)
+	if ptePMD != 0 {
+		t.Errorf("PTE mode performed %d PMD swaps", ptePMD)
+	}
+	if hugePMD == 0 {
+		t.Error("huge mode performed no PMD swaps")
+	}
+	if hugeCompact >= pteCompact {
+		t.Errorf("huge compaction %v not cheaper than PTE compaction %v", hugeCompact, pteCompact)
+	}
+}
+
+// The ablation ordering the paper's microbenchmarks imply: every
+// optimisation contributes to compaction speed on large-object heaps.
+func TestOptimisationsEachHelp(t *testing.T) {
+	run := func(cfg Config) sim.Time {
+		h, roots, ctx := build(t, cfg)
+		c := New(h, roots, cfg)
+		churn(t, h, roots, ctx)
+		p, err := c.Collect(ctx, gc.CauseAllocFailure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Phases.Compact
+	}
+	full := run(Config{Workers: 4})
+	noAgg := run(Config{Workers: 4, DisableAggregation: true})
+	noPMD := run(Config{Workers: 4, DisablePMDCaching: true})
+	none := run(Config{Workers: 4, DisableSwapVA: true})
+	// Pinning's benefit (one shootdown instead of one per call, Eq. 2)
+	// shows against per-call broadcasts — aggregation off, and measured
+	// per caller (one worker), exactly the paper's Fig. 9 setting. With
+	// several compact workers the parallelism of broadcasting callers
+	// can outweigh the flush saving inside the pause; the saving then
+	// reappears as fewer IPIs disturbing the rest of the machine.
+	pinNoAgg := run(Config{Workers: 1, DisableAggregation: true})
+	noPinNoAgg := run(Config{Workers: 1, DisableAggregation: true, DisablePinning: true})
+
+	if full >= noAgg {
+		t.Errorf("aggregation did not help: %v vs %v", full, noAgg)
+	}
+	if pinNoAgg >= noPinNoAgg {
+		t.Errorf("pinning did not help without aggregation: %v vs %v", pinNoAgg, noPinNoAgg)
+	}
+	if full >= noPMD {
+		t.Errorf("PMD caching did not help: %v vs %v", full, noPMD)
+	}
+	if full >= none {
+		t.Errorf("SwapVA did not help at all: %v vs %v", full, none)
+	}
+}

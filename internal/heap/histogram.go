@@ -1,0 +1,76 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// ClassStat aggregates the live objects of one class tag.
+type ClassStat struct {
+	Class   uint16
+	Objects int
+	Bytes   int64
+}
+
+// Histogram walks [start, top) and aggregates objects by class — the
+// jmap -histo of the simulated heap. Filler objects are reported under
+// the reserved class 0 row so fragmentation is visible. The walk is
+// charged to ctx like any other heap scan.
+func (h *Heap) Histogram(ctx *machine.Context) ([]ClassStat, error) {
+	byClass := map[uint16]*ClassStat{}
+	err := h.Walk(ctx, h.start, h.Top(), func(o Object, hd Header) (bool, error) {
+		class := uint16(0)
+		if !hd.Filler {
+			meta, err := h.ReadMeta(ctx, o)
+			if err != nil {
+				return false, err
+			}
+			class = meta.Class
+		}
+		s := byClass[class]
+		if s == nil {
+			s = &ClassStat{Class: class}
+			byClass[class] = s
+		}
+		s.Objects++
+		s.Bytes += int64(hd.Size)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]ClassStat, 0, len(byClass))
+	for _, s := range byClass {
+		stats = append(stats, *s)
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Bytes != stats[j].Bytes {
+			return stats[i].Bytes > stats[j].Bytes
+		}
+		return stats[i].Class < stats[j].Class
+	})
+	return stats, nil
+}
+
+// FormatHistogram renders class statistics as an aligned table. Class 0
+// is labelled as filler/padding.
+func FormatHistogram(stats []ClassStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %10s  %12s\n", "class", "objects", "bytes")
+	var totObj int
+	var totBytes int64
+	for _, s := range stats {
+		label := fmt.Sprintf("%d", s.Class)
+		if s.Class == 0 {
+			label = "(filler)"
+		}
+		fmt.Fprintf(&b, "%-8s  %10d  %12d\n", label, s.Objects, s.Bytes)
+		totObj += s.Objects
+		totBytes += s.Bytes
+	}
+	fmt.Fprintf(&b, "%-8s  %10d  %12d\n", "total", totObj, totBytes)
+	return b.String()
+}

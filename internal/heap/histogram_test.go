@@ -1,0 +1,61 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestHistogramAggregates(t *testing.T) {
+	h, ctx := newHeap(t, 8<<20, core.DefaultPolicy())
+	for i := 0; i < 5; i++ {
+		if _, err := h.AllocShared(ctx, AllocSpec{Payload: 1000, Class: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := h.AllocShared(ctx, AllocSpec{Payload: 11 * 4096, Class: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := h.Histogram(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[uint16]ClassStat{}
+	for _, s := range stats {
+		byClass[s.Class] = s
+	}
+	if got := byClass[7]; got.Objects != 5 || got.Bytes != 5*int64(AllocSpec{Payload: 1000}.TotalBytes()) {
+		t.Errorf("class 7: %+v", got)
+	}
+	if got := byClass[9]; got.Objects != 2 {
+		t.Errorf("class 9: %+v", got)
+	}
+	// The large objects produced alignment fillers.
+	if byClass[0].Objects == 0 {
+		t.Error("no filler row despite page alignment")
+	}
+	// Sorted by bytes descending: class 9 (large) must come first.
+	if stats[0].Class != 9 {
+		t.Errorf("stats[0] = %+v, want class 9 first", stats[0])
+	}
+	out := FormatHistogram(stats)
+	for _, want := range []string{"(filler)", "total", "class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramEmptyHeap(t *testing.T) {
+	h, ctx := newHeap(t, 1<<20, core.DefaultPolicy())
+	stats, err := h.Histogram(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 0 {
+		t.Errorf("empty heap histogram: %+v", stats)
+	}
+}

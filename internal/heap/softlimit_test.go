@@ -1,0 +1,72 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSoftLimitBlocksSharedAlloc(t *testing.T) {
+	h, ctx := newHeap(t, 4<<20, core.MemmovePolicy())
+	h.SetSoftLimit(h.Start() + 64<<10)
+	var err error
+	allocated := 0
+	for i := 0; i < 1000; i++ {
+		if _, err = h.AllocShared(ctx, AllocSpec{Payload: 4096}); err != nil {
+			break
+		}
+		allocated++
+	}
+	if err != ErrHeapFull {
+		t.Fatalf("err = %v", err)
+	}
+	if allocated == 0 || allocated > 16 {
+		t.Errorf("allocated %d objects under a 64K ceiling", allocated)
+	}
+	// Raising the ceiling lets allocation continue.
+	h.SetSoftLimit(h.Start() + 1<<20)
+	if _, err := h.AllocShared(ctx, AllocSpec{Payload: 4096}); err != nil {
+		t.Fatalf("alloc after raising ceiling: %v", err)
+	}
+	// Removing it opens the rest of the heap.
+	h.SetSoftLimit(0)
+	if _, err := h.AllocShared(ctx, AllocSpec{Payload: 2 << 20}); err != nil {
+		t.Fatalf("alloc after removing ceiling: %v", err)
+	}
+}
+
+func TestSoftLimitBlocksTLABRefill(t *testing.T) {
+	h, ctx := newHeap(t, 4<<20, core.MemmovePolicy())
+	h.SetSoftLimit(h.Start() + 32<<10) // smaller than one TLAB
+	var tl TLAB
+	if err := h.RefillTLAB(ctx, &tl); err != ErrHeapFull {
+		t.Fatalf("refill under tiny ceiling: %v", err)
+	}
+	h.SetSoftLimit(0)
+	if err := h.RefillTLAB(ctx, &tl); err != nil {
+		t.Fatalf("refill after removing ceiling: %v", err)
+	}
+	tl.Retire(h, ctx)
+}
+
+func TestSoftLimitClamping(t *testing.T) {
+	h, ctx := newHeap(t, 1<<20, core.MemmovePolicy())
+	if _, err := h.AllocShared(ctx, AllocSpec{Payload: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	// Below top: clamps to top (no retroactive failure).
+	h.SetSoftLimit(h.Start())
+	if got := h.SoftLimit(); got != h.Top() {
+		t.Errorf("limit below top not clamped: %#x vs top %#x", got, h.Top())
+	}
+	// Beyond end: clamps to end.
+	h.SetSoftLimit(h.End() + 12345)
+	if got := h.SoftLimit(); got != h.End() {
+		t.Errorf("limit beyond end not clamped: %#x", got)
+	}
+	// Zero clears.
+	h.SetSoftLimit(0)
+	if h.SoftLimit() != 0 {
+		t.Error("zero did not clear the limit")
+	}
+}

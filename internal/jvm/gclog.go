@@ -1,0 +1,60 @@
+package jvm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gc"
+	"repro/internal/machine"
+)
+
+// loggingCollector decorates a collector with -Xlog:gc-style output: one
+// line per pause, written as it happens, carrying the simulated timestamp
+// and the figures an operator tunes against.
+type loggingCollector struct {
+	inner gc.Collector
+	w     io.Writer
+	heap  func() (used, capacity int)
+	seq   int
+}
+
+// WithGCLog wraps the JVM's collector so every pause is logged to w.
+// Call it right after New, before running a workload.
+func (j *JVM) WithGCLog(w io.Writer) {
+	j.GC = &loggingCollector{
+		inner: j.GC,
+		w:     w,
+		heap: func() (int, int) {
+			return j.Heap.UsedBytes(), j.Heap.Capacity()
+		},
+	}
+}
+
+// Name implements gc.Collector.
+func (l *loggingCollector) Name() string { return l.inner.Name() }
+
+// Stats implements gc.Collector.
+func (l *loggingCollector) Stats() *gc.Stats { return l.inner.Stats() }
+
+// Collect implements gc.Collector, logging the pause record.
+func (l *loggingCollector) Collect(ctx *machine.Context, cause gc.Cause) (*gc.PauseInfo, error) {
+	usedBefore, capacity := l.heap()
+	pause, err := l.inner.Collect(ctx, cause)
+	if err != nil {
+		fmt.Fprintf(l.w, "[%s][gc,%d] %s FAILED: %v\n",
+			ctx.Clock.Now(), l.seq, l.inner.Name(), err)
+		l.seq++
+		return pause, err
+	}
+	usedAfter, _ := l.heap()
+	fmt.Fprintf(l.w,
+		"[%s][gc,%d] %s %s (%s) %dK->%dK(%dK) %v [mark %v, fwd %v, adj %v, compact %v] swapped %d pages, copied %dK\n",
+		ctx.Clock.Now(), l.seq, l.inner.Name(), pause.Kind, cause,
+		usedBefore>>10, usedAfter>>10, capacity>>10,
+		pause.Total, pause.Phases.Mark, pause.Phases.Forward, pause.Phases.Adjust, pause.Phases.Compact,
+		pause.SwappedPages, pause.MovedBytes>>10)
+	l.seq++
+	return pause, nil
+}
+
+var _ gc.Collector = (*loggingCollector)(nil)

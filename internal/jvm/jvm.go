@@ -1,0 +1,197 @@
+// Package jvm ties the simulated machine, heap and a collector into a
+// managed runtime: mutator threads with TLABs, allocation that triggers
+// stop-the-world collection on failure, and the time/perf accounting the
+// experiments report (application time vs GC pause time vs concurrent GC
+// work).
+//
+// Mutator threads are virtual: the experiment driver runs them one after
+// another on their own simulated clocks, and application execution time is
+// the slowest thread's clock plus all pauses and concurrent GC work. This
+// keeps every experiment deterministic.
+package jvm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// CollectorFactory builds a collector for a freshly created heap.
+type CollectorFactory func(h *heap.Heap, roots *gc.RootSet) gc.Collector
+
+// Config describes a JVM instance.
+type Config struct {
+	// HeapBytes is the heap capacity.
+	HeapBytes int64
+	// Policy is the allocation/move policy; it must match the collector
+	// (SVAGC wants core.DefaultPolicy, the baselines core.MemmovePolicy).
+	Policy core.MovePolicy
+	// NewCollector builds the collector.
+	NewCollector CollectorFactory
+	// Threads is the mutator thread count (default 1).
+	Threads int
+	// TLABBytes overrides the TLAB size (default heap.DefaultTLABBytes).
+	TLABBytes int
+	// BaseCore places the JVM's threads starting at this core.
+	BaseCore int
+}
+
+// JVM is one managed-runtime instance on a machine.
+type JVM struct {
+	M     *machine.Machine
+	K     *kernel.Kernel
+	AS    *mmu.AddressSpace
+	Heap  *heap.Heap
+	Roots *gc.RootSet
+	GC    gc.Collector
+
+	gcCtx   *machine.Context
+	threads []*Thread
+	oomMax  int
+}
+
+// Thread is one mutator thread: a simulated execution context plus its
+// TLAB and a convenience handle to the owning JVM.
+type Thread struct {
+	J    *JVM
+	ID   int
+	Ctx  *machine.Context
+	TLAB heap.TLAB
+}
+
+// New builds a JVM on m.
+func New(m *machine.Machine, cfg Config) (*JVM, error) {
+	if cfg.NewCollector == nil {
+		return nil, fmt.Errorf("jvm: Config.NewCollector is required")
+	}
+	if cfg.HeapBytes <= 0 {
+		return nil, fmt.Errorf("jvm: HeapBytes must be positive")
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	h, err := heap.New(as, k, heap.Config{
+		SizeBytes:   cfg.HeapBytes,
+		Policy:      cfg.Policy,
+		TLABBytes:   cfg.TLABBytes,
+		ZeroOnAlloc: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	roots := &gc.RootSet{}
+	j := &JVM{
+		M:      m,
+		K:      k,
+		AS:     as,
+		Heap:   h,
+		Roots:  roots,
+		GC:     cfg.NewCollector(h, roots),
+		gcCtx:  m.NewContext(cfg.BaseCore % m.NumCores()),
+		oomMax: 4, // minor + escalation + full may all be needed before OOM
+	}
+	j.threads = make([]*Thread, threads)
+	for i := range j.threads {
+		j.threads[i] = &Thread{
+			J:   j,
+			ID:  i,
+			Ctx: m.NewContext((cfg.BaseCore + i) % m.NumCores()),
+		}
+	}
+	// Mutator threads are memory streams for bus-contention purposes;
+	// collections temporarily override the count with their worker count
+	// (mutators are paused during STW).
+	m.Bus().AddStreams(threads)
+	return j, nil
+}
+
+// Threads returns the mutator thread count.
+func (j *JVM) Threads() int { return len(j.threads) }
+
+// Thread returns mutator thread i.
+func (j *JVM) Thread(i int) *Thread { return j.threads[i] }
+
+// CollectNow forces a collection (System.gc()).
+func (j *JVM) CollectNow() (*gc.PauseInfo, error) {
+	return j.GC.Collect(j.gcCtx, gc.CauseExplicit)
+}
+
+// Alloc allocates on behalf of the thread, collecting and retrying on
+// heap exhaustion. It returns an OutOfMemory error when collections
+// cannot free enough space.
+func (t *Thread) Alloc(spec heap.AllocSpec) (heap.Object, error) {
+	for attempt := 0; ; attempt++ {
+		o, err := t.J.Heap.Alloc(t.Ctx, &t.TLAB, spec)
+		if err == nil {
+			return o, nil
+		}
+		if err != heap.ErrHeapFull || attempt >= t.J.oomMax {
+			if err == heap.ErrHeapFull {
+				return 0, fmt.Errorf("jvm: OutOfMemory allocating %d bytes after %d collections",
+					spec.TotalBytes(), attempt)
+			}
+			return 0, err
+		}
+		if _, gcErr := t.J.GC.Collect(t.J.gcCtx, gc.CauseAllocFailure); gcErr != nil {
+			return 0, gcErr
+		}
+	}
+}
+
+// AllocRooted allocates and immediately registers a root for the object.
+func (t *Thread) AllocRooted(spec heap.AllocSpec) (*gc.Root, error) {
+	o, err := t.Alloc(spec)
+	if err != nil {
+		return nil, err
+	}
+	return t.J.Roots.Add(o), nil
+}
+
+// --- accounting -----------------------------------------------------------
+
+// MutatorTime returns the slowest mutator thread's clock: pure application
+// compute/memory time, excluding GC.
+func (j *JVM) MutatorTime() sim.Time {
+	var max sim.Time
+	for _, t := range j.threads {
+		if now := t.Ctx.Clock.Now(); now > max {
+			max = now
+		}
+	}
+	return max
+}
+
+// GCPauseTime returns the summed stop-the-world time.
+func (j *JVM) GCPauseTime() sim.Time { return j.GC.Stats().TotalPause("") }
+
+// GCConcurrentTime returns GC work done outside pauses.
+func (j *JVM) GCConcurrentTime() sim.Time { return j.GC.Stats().Concurrent }
+
+// AppTime returns end-to-end application execution time: mutator work,
+// plus every pause (STW blocks all threads), plus concurrent GC work
+// (which steals cores from the application).
+func (j *JVM) AppTime() sim.Time {
+	return j.MutatorTime() + j.GCPauseTime() + j.GCConcurrentTime()
+}
+
+// TotalPerf aggregates perf counters over mutator threads and GC.
+func (j *JVM) TotalPerf() sim.Perf {
+	var p sim.Perf
+	for _, t := range j.threads {
+		p.Add(t.Ctx.Perf)
+	}
+	p.Add(j.gcCtx.Perf)
+	return p
+}
+
+// GCCount returns the number of pauses of the given kind ("" = all).
+func (j *JVM) GCCount(kind string) int { return j.GC.Stats().Count(kind) }

@@ -1,0 +1,111 @@
+package jvm
+
+import (
+	"repro/internal/gc"
+	"repro/internal/gc/pargc"
+	"repro/internal/gc/shen"
+	"repro/internal/gc/svagc"
+	"repro/internal/heap"
+)
+
+// Preset collector names accepted by ConfigFor.
+const (
+	CollectorSVAGC     = "svagc"
+	CollectorSVAGCBase = "svagc-memmove" // SVAGC phases, memmove-only moving
+	CollectorParallel  = "parallelgc"
+	CollectorShen      = "shenandoah"
+	// The Table I extension presets: SwapVA applied to the minor-copying
+	// and concurrent-evacuation phases of the baselines.
+	CollectorParallelSwap = "parallelgc-swapva"
+	CollectorShenSwap     = "shenandoah-swapva"
+)
+
+// CollectorNames lists the presets.
+func CollectorNames() []string {
+	return []string{
+		CollectorSVAGC, CollectorSVAGCBase, CollectorParallel, CollectorShen,
+		CollectorParallelSwap, CollectorShenSwap,
+	}
+}
+
+// SVAGCConfig returns a JVM configuration running the paper's collector.
+func SVAGCConfig(heapBytes int64, threads, gcWorkers int) Config {
+	sc := svagc.Config{Workers: gcWorkers}
+	return Config{
+		HeapBytes: heapBytes,
+		Threads:   threads,
+		Policy:    svagc.Policy(sc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return svagc.New(h, roots, sc)
+		},
+	}
+}
+
+// SVAGCBaselineConfig is SVAGC with SwapVA disabled — the "-SwapVA" bars
+// of Fig. 11.
+func SVAGCBaselineConfig(heapBytes int64, threads, gcWorkers int) Config {
+	sc := svagc.Config{Workers: gcWorkers, DisableSwapVA: true}
+	return Config{
+		HeapBytes: heapBytes,
+		Threads:   threads,
+		Policy:    svagc.Policy(sc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return svagc.New(h, roots, sc)
+		},
+	}
+}
+
+// ParallelGCConfig returns the generational throughput baseline; with
+// useSwapVA it becomes the Table I minor-copying extension.
+func ParallelGCConfig(heapBytes int64, threads, gcWorkers int) Config {
+	return parallelGCConfig(heapBytes, threads, gcWorkers, false)
+}
+
+func parallelGCConfig(heapBytes int64, threads, gcWorkers int, useSwapVA bool) Config {
+	pc := pargc.Config{Workers: gcWorkers, UseSwapVA: useSwapVA}
+	return Config{
+		HeapBytes: heapBytes,
+		Threads:   threads,
+		Policy:    pargc.Policy(pc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return pargc.New(h, roots, pc)
+		},
+	}
+}
+
+// ShenandoahConfig returns the concurrent pause-oriented baseline; with
+// useSwapVA it becomes the Table I concurrent-evacuation extension.
+func ShenandoahConfig(heapBytes int64, threads, gcWorkers int) Config {
+	return shenConfig(heapBytes, threads, gcWorkers, false)
+}
+
+func shenConfig(heapBytes int64, threads, gcWorkers int, useSwapVA bool) Config {
+	sc := shen.Config{Workers: gcWorkers, UseSwapVA: useSwapVA}
+	return Config{
+		HeapBytes: heapBytes,
+		Threads:   threads,
+		Policy:    shen.Policy(sc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return shen.New(h, roots, sc)
+		},
+	}
+}
+
+// ConfigFor dispatches on a preset collector name.
+func ConfigFor(name string, heapBytes int64, threads, gcWorkers int) (Config, bool) {
+	switch name {
+	case CollectorSVAGC:
+		return SVAGCConfig(heapBytes, threads, gcWorkers), true
+	case CollectorSVAGCBase:
+		return SVAGCBaselineConfig(heapBytes, threads, gcWorkers), true
+	case CollectorParallel:
+		return ParallelGCConfig(heapBytes, threads, gcWorkers), true
+	case CollectorShen:
+		return ShenandoahConfig(heapBytes, threads, gcWorkers), true
+	case CollectorParallelSwap:
+		return parallelGCConfig(heapBytes, threads, gcWorkers, true), true
+	case CollectorShenSwap:
+		return shenConfig(heapBytes, threads, gcWorkers, true), true
+	}
+	return Config{}, false
+}

@@ -1,0 +1,275 @@
+package jvm
+
+// Randomised GC stress test: a shadow object model on the host mirrors a
+// random mutator (allocations, pointer stores, root churn, payload
+// writes) running against the simulated heap under every collector
+// preset. After every forced collection the entire reachable graph is
+// compared against the shadow — payloads, class tags and edges — and the
+// heap's structural and referential integrity is verified. This is the
+// repository's broadest end-to-end correctness net: any collector bug
+// that corrupts, loses or mislinks an object fails it.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// shadowNode mirrors one live object.
+type shadowNode struct {
+	id      int
+	root    *gc.Root
+	refs    []int // shadow ids, -1 for null
+	payload int
+	class   uint16
+}
+
+type stressWorld struct {
+	t     *testing.T
+	j     *JVM
+	th    *Thread
+	rng   *rand.Rand
+	nodes map[int]*shadowNode
+	next  int
+}
+
+func (w *stressWorld) alloc(numRefs, payload int) *shadowNode {
+	w.t.Helper()
+	id := w.next
+	w.next++
+	class := uint16(id%1000 + 1)
+	r, err := w.th.AllocRooted(heap.AllocSpec{NumRefs: numRefs, Payload: payload, Class: class})
+	if err != nil {
+		w.t.Fatalf("alloc node %d: %v", id, err)
+	}
+	// Tag the payload's first word with the id for verification.
+	if payload >= 8 {
+		if err := w.j.Heap.WritePayloadWord(w.th.Ctx, r.Obj, numRefs, 0, uint64(id)^0xABCD); err != nil {
+			w.t.Fatal(err)
+		}
+	}
+	n := &shadowNode{id: id, root: r, refs: make([]int, numRefs), payload: payload, class: class}
+	for i := range n.refs {
+		n.refs[i] = -1
+	}
+	w.nodes[id] = n
+	return n
+}
+
+func (w *stressWorld) randomNode() *shadowNode {
+	if len(w.nodes) == 0 {
+		return nil
+	}
+	k := w.rng.Intn(len(w.nodes))
+	for _, n := range w.nodes {
+		if k == 0 {
+			return n
+		}
+		k--
+	}
+	return nil
+}
+
+// step performs one random mutator operation.
+func (w *stressWorld) step() {
+	switch op := w.rng.Intn(10); {
+	case op < 4: // allocate (mixed sizes; some swappable)
+		payload := 8 + w.rng.Intn(2048)
+		if w.rng.Intn(6) == 0 {
+			payload = (10 + w.rng.Intn(8)) * mem.PageSize
+		}
+		w.alloc(w.rng.Intn(4), payload)
+	case op < 7: // link two random nodes
+		a, b := w.randomNode(), w.randomNode()
+		if a == nil || b == nil || len(a.refs) == 0 {
+			return
+		}
+		slot := w.rng.Intn(len(a.refs))
+		if err := w.j.Heap.SetRef(w.th.Ctx, a.root.Obj, slot, b.root.Obj); err != nil {
+			w.t.Fatal(err)
+		}
+		a.refs[slot] = b.id
+	case op < 8: // null a slot
+		a := w.randomNode()
+		if a == nil || len(a.refs) == 0 {
+			return
+		}
+		slot := w.rng.Intn(len(a.refs))
+		if err := w.j.Heap.SetRef(w.th.Ctx, a.root.Obj, slot, 0); err != nil {
+			w.t.Fatal(err)
+		}
+		a.refs[slot] = -1
+	case op < 9: // drop a node (make garbage; shadow edges to it null out)
+		a := w.randomNode()
+		if a == nil || len(w.nodes) < 8 {
+			return
+		}
+		// To keep the shadow exact, clear heap slots that point at the
+		// victim before unrooting it (the shadow has no unrooted nodes).
+		for _, n := range w.nodes {
+			for i, ref := range n.refs {
+				if ref == a.id {
+					if err := w.j.Heap.SetRef(w.th.Ctx, n.root.Obj, i, 0); err != nil {
+						w.t.Fatal(err)
+					}
+					n.refs[i] = -1
+				}
+			}
+		}
+		w.j.Roots.Remove(a.root)
+		delete(w.nodes, a.id)
+	default: // rewrite a payload region
+		a := w.randomNode()
+		if a == nil || a.payload < 16 {
+			return
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(a.id)^0xABCD)
+		if err := w.j.Heap.WritePayload(w.th.Ctx, a.root.Obj, len(a.refs), 0, buf[:]); err != nil {
+			w.t.Fatal(err)
+		}
+	}
+}
+
+// verify compares the whole shadow against the heap.
+func (w *stressWorld) verify(when string) {
+	w.t.Helper()
+	for id, n := range w.nodes {
+		meta, err := w.j.Heap.ReadMeta(w.th.Ctx, n.root.Obj)
+		if err != nil {
+			w.t.Fatalf("%s: node %d meta: %v", when, id, err)
+		}
+		if meta.Class != n.class || meta.NumRefs != len(n.refs) {
+			w.t.Fatalf("%s: node %d meta %+v, want class %d refs %d", when, id, meta, n.class, len(n.refs))
+		}
+		if n.payload >= 8 {
+			wd, err := w.j.Heap.ReadPayloadWord(w.th.Ctx, n.root.Obj, len(n.refs), 0)
+			if err != nil {
+				w.t.Fatal(err)
+			}
+			if wd != uint64(id)^0xABCD {
+				w.t.Fatalf("%s: node %d payload tag %#x", when, id, wd)
+			}
+		}
+		for i, want := range n.refs {
+			got, err := w.j.Heap.Ref(w.th.Ctx, n.root.Obj, i)
+			if err != nil {
+				w.t.Fatal(err)
+			}
+			switch {
+			case want == -1 && got != 0:
+				w.t.Fatalf("%s: node %d slot %d should be null, holds %#x", when, id, i, got)
+			case want >= 0 && got != w.nodes[want].root.Obj:
+				w.t.Fatalf("%s: node %d slot %d points to %#x, want node %d at %#x",
+					when, id, i, got, want, w.nodes[want].root.Obj)
+			}
+		}
+	}
+	var roots []heap.Object
+	for _, r := range w.j.Roots.Snapshot() {
+		roots = append(roots, r.Obj)
+	}
+	if err := w.th.TLAB.Retire(w.j.Heap, w.th.Ctx); err != nil {
+		w.t.Fatal(err)
+	}
+	if err := w.j.Heap.VerifyIntegrity(roots); err != nil {
+		w.t.Fatalf("%s: %v", when, err)
+	}
+}
+
+func TestGCStressAllCollectors(t *testing.T) {
+	const (
+		steps  = 400
+		gcs    = 8
+		hBytes = 24 << 20
+	)
+	for _, preset := range CollectorNames() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+			cfg, ok := ConfigFor(preset, hBytes, 1, 4)
+			if !ok {
+				t.Fatalf("unknown preset %q", preset)
+			}
+			j, err := New(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := &stressWorld{
+				t:     t,
+				j:     j,
+				th:    j.Thread(0),
+				rng:   rand.New(rand.NewSource(2024)),
+				nodes: map[int]*shadowNode{},
+			}
+			for g := 0; g < gcs; g++ {
+				for s := 0; s < steps/gcs; s++ {
+					w.step()
+				}
+				if _, err := j.CollectNow(); err != nil {
+					t.Fatalf("gc %d: %v", g, err)
+				}
+				w.verify(fmt.Sprintf("after gc %d", g))
+			}
+			if j.GCCount("") < gcs {
+				t.Errorf("only %d collections recorded", j.GCCount(""))
+			}
+		})
+	}
+}
+
+// The same stress under memory pressure: a small heap forces implicit
+// collections from the allocator path (not just explicit ones).
+func TestGCStressUnderPressure(t *testing.T) {
+	for _, preset := range []string{CollectorSVAGC, CollectorParallel} {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+			cfg, _ := ConfigFor(preset, 3<<20, 1, 4)
+			j, err := New(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := &stressWorld{
+				t:     t,
+				j:     j,
+				th:    j.Thread(0),
+				rng:   rand.New(rand.NewSource(7)),
+				nodes: map[int]*shadowNode{},
+			}
+			for s := 0; s < 1500; s++ {
+				w.step()
+				// Cap the live set so the heap never truly overflows.
+				for len(w.nodes) > 40 {
+					n := w.randomNode()
+					for _, o := range w.nodes {
+						for i, ref := range o.refs {
+							if ref == n.id {
+								if err := w.j.Heap.SetRef(w.th.Ctx, o.root.Obj, i, 0); err != nil {
+									t.Fatal(err)
+								}
+								o.refs[i] = -1
+							}
+						}
+					}
+					w.j.Roots.Remove(n.root)
+					delete(w.nodes, n.id)
+				}
+				if s%150 == 149 {
+					w.verify(fmt.Sprintf("step %d", s))
+				}
+			}
+			if j.GCCount("") == 0 {
+				t.Error("no implicit collections under pressure")
+			}
+			w.verify("final")
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+const hugePages = int(mmu.PMDSpan >> mem.PageShift) // 512
+
+// hugeFixture maps two ranges whose bases are 2 MiB aligned.
+func hugeFixture(t *testing.T, pages int) (*fixture, uint64, uint64) {
+	t.Helper()
+	f := newFixture(t)
+	a := alignedRegion(t, f, pages)
+	b := alignedRegion(t, f, pages)
+	return f, a, b
+}
+
+// alignedRegion maps a region with 2 MiB of slack and returns its first
+// 2 MiB-aligned address, which has at least the requested pages mapped
+// behind it.
+func alignedRegion(t *testing.T, f *fixture, pages int) uint64 {
+	t.Helper()
+	raw, err := f.as.MapRegion(pages + hugePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (raw + mmu.PMDSpan - 1) &^ (mmu.PMDSpan - 1)
+}
+
+func TestHugeSwapExchangesWholeSpans(t *testing.T) {
+	pages := hugePages + 17 // one huge span plus a PTE tail
+	f, a, b := hugeFixture(t, pages)
+	f.fillPages(t, a, pages, 0xA1)
+	f.fillPages(t, b, pages, 0xB2)
+	wantA := f.snapshot(t, b, pages)
+	wantB := f.snapshot(t, a, pages)
+
+	opts := DefaultOptions()
+	opts.HugeSwap = true
+	ctx := f.m.NewContext(0)
+	if err := f.k.SwapVA(ctx, f.as, a, b, pages, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.snapshot(t, a, pages), wantA) ||
+		!bytes.Equal(f.snapshot(t, b, pages), wantB) {
+		t.Fatal("huge swap produced wrong contents")
+	}
+	if ctx.Perf.PMDSwaps != 1 {
+		t.Errorf("PMDSwaps = %d, want 1", ctx.Perf.PMDSwaps)
+	}
+	// Only the 17-page tail should have gone through per-page PTE work.
+	if ctx.Perf.PTLevelHits > 2*17*3 {
+		t.Errorf("per-page walk work too high for a huge swap: %d level hits", ctx.Perf.PTLevelHits)
+	}
+}
+
+func TestHugeSwapMuchCheaperThanPTESwap(t *testing.T) {
+	pages := 4 * hugePages // 8 MiB
+	f, a, b := hugeFixture(t, pages)
+
+	run := func(huge bool) sim.Time {
+		opts := DefaultOptions()
+		opts.HugeSwap = huge
+		ctx := f.m.NewContext(0)
+		if err := f.k.SwapVA(ctx, f.as, a, b, pages, opts); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Clock.Now()
+	}
+	hugeCost := run(true)
+	pteCost := run(false)
+	if float64(pteCost) < 5*float64(hugeCost) {
+		t.Errorf("huge swap %v vs PTE swap %v: expected >5x saving", hugeCost, pteCost)
+	}
+}
+
+func TestHugeSwapDisabledByDefault(t *testing.T) {
+	pages := hugePages
+	f, a, b := hugeFixture(t, pages)
+	ctx := f.m.NewContext(0)
+	if err := f.k.SwapVA(ctx, f.as, a, b, pages, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Perf.PMDSwaps != 0 {
+		t.Errorf("default options performed %d PMD swaps", ctx.Perf.PMDSwaps)
+	}
+}
+
+func TestHugeSwapNeedsAlignment(t *testing.T) {
+	pages := hugePages + 8
+	f, a, b := hugeFixture(t, pages)
+	opts := DefaultOptions()
+	opts.HugeSwap = true
+	ctx := f.m.NewContext(0)
+	// Offset by one page: never 2MiB-aligned, must fall back to PTEs.
+	if err := f.k.SwapVA(ctx, f.as, a+mem.PageSize, b+mem.PageSize, pages-1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Perf.PMDSwaps != 0 {
+		t.Errorf("misaligned ranges used %d PMD swaps", ctx.Perf.PMDSwaps)
+	}
+}
+
+func TestHugeSwapIsInvolution(t *testing.T) {
+	pages := 2 * hugePages
+	f, a, b := hugeFixture(t, pages)
+	f.fillPages(t, a, pages, 3)
+	f.fillPages(t, b, pages, 4)
+	origA := f.snapshot(t, a, pages)
+	opts := DefaultOptions()
+	opts.HugeSwap = true
+	ctx := f.m.NewContext(0)
+	for i := 0; i < 2; i++ {
+		if err := f.k.SwapVA(ctx, f.as, a, b, pages, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(f.snapshot(t, a, pages), origA) {
+		t.Error("double huge swap is not identity")
+	}
+	if ctx.Perf.PMDSwaps != 4 {
+		t.Errorf("PMDSwaps = %d, want 4", ctx.Perf.PMDSwaps)
+	}
+}
+
+func TestSwapPMDEntriesValidation(t *testing.T) {
+	f := newFixture(t)
+	va, _ := f.as.MapRegion(8)
+	if err := f.as.SwapPMDEntries(va+4096, va); err == nil {
+		t.Error("misaligned PMD swap accepted")
+	}
+	if err := f.as.SwapPMDEntries(0x7000_0000_0000, 0x7000_0020_0000); err == nil {
+		t.Error("unmapped PMD swap accepted")
+	}
+}

@@ -1,0 +1,393 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	m   *machine.Machine
+	k   *Kernel
+	as  *mmu.AddressSpace
+	ctx *machine.Context
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	return &fixture{m: m, k: New(m), as: m.NewAddressSpace(), ctx: m.NewContext(0)}
+}
+
+// fillPages writes a distinct pattern into each page of a region.
+func (f *fixture) fillPages(t *testing.T, va uint64, pages int, tag byte) {
+	t.Helper()
+	buf := make([]byte, mem.PageSize)
+	for i := 0; i < pages; i++ {
+		for j := range buf {
+			buf[j] = tag ^ byte(i) ^ byte(j*13)
+		}
+		if err := f.as.RawWrite(va+uint64(i)<<mem.PageShift, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (f *fixture) snapshot(t *testing.T, va uint64, pages int) []byte {
+	t.Helper()
+	buf := make([]byte, pages*mem.PageSize)
+	if err := f.as.RawRead(va, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestSwapVAExchangesContents(t *testing.T) {
+	f := newFixture(t)
+	const pages = 12
+	a, _ := f.as.MapRegion(pages)
+	b, _ := f.as.MapRegion(pages)
+	f.fillPages(t, a, pages, 0xAA)
+	f.fillPages(t, b, pages, 0x55)
+	wantA := f.snapshot(t, b, pages)
+	wantB := f.snapshot(t, a, pages)
+
+	if err := f.k.SwapVA(f.ctx, f.as, a, b, pages, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.snapshot(t, a, pages), wantA) {
+		t.Error("range A does not hold B's former contents")
+	}
+	if !bytes.Equal(f.snapshot(t, b, pages), wantB) {
+		t.Error("range B does not hold A's former contents")
+	}
+	if f.ctx.Perf.PagesSwapped != pages {
+		t.Errorf("PagesSwapped = %d, want %d", f.ctx.Perf.PagesSwapped, pages)
+	}
+	if f.ctx.Perf.BytesCopied != 0 {
+		t.Errorf("SwapVA copied %d bytes; must be zero-copy", f.ctx.Perf.BytesCopied)
+	}
+}
+
+func TestSwapVAIsInvolution(t *testing.T) {
+	f := newFixture(t)
+	const pages = 5
+	a, _ := f.as.MapRegion(pages)
+	b, _ := f.as.MapRegion(pages)
+	f.fillPages(t, a, pages, 1)
+	f.fillPages(t, b, pages, 2)
+	origA := f.snapshot(t, a, pages)
+	origB := f.snapshot(t, b, pages)
+	opts := DefaultOptions()
+	for i := 0; i < 2; i++ {
+		if err := f.k.SwapVA(f.ctx, f.as, a, b, pages, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(f.snapshot(t, a, pages), origA) || !bytes.Equal(f.snapshot(t, b, pages), origB) {
+		t.Error("double swap is not identity")
+	}
+}
+
+func TestSwapVAArgumentValidation(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(2)
+	b, _ := f.as.MapRegion(2)
+	if err := f.k.SwapVA(f.ctx, f.as, a+1, b, 1, DefaultOptions()); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned: %v", err)
+	}
+	if err := f.k.SwapVA(f.ctx, f.as, a, b, 0, DefaultOptions()); !errors.Is(err, ErrBadLength) {
+		t.Errorf("zero pages: %v", err)
+	}
+	if err := f.k.SwapVA(f.ctx, f.as, a, b+4*mem.PageSize, 1, DefaultOptions()); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("unmapped: %v", err)
+	}
+	if err := f.k.SwapVA(f.ctx, f.as, a, a, 2, DefaultOptions()); err != nil {
+		t.Errorf("self swap should be a no-op, got %v", err)
+	}
+}
+
+func TestSwapVAFlushPolicies(t *testing.T) {
+	// Demonstrate that the TLB flush is load-bearing: a stale entry reads
+	// the old frame when FlushNone is used, and the right data after a
+	// broadcast flush.
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(1)
+	b, _ := f.as.MapRegion(1)
+	f.as.RawWrite(a, []byte{1})
+	f.as.RawWrite(b, []byte{2})
+
+	// Warm the TLB through a charged read.
+	buf := make([]byte, 1)
+	if err := f.as.Read(&f.ctx.Env, a, buf); err != nil || buf[0] != 1 {
+		t.Fatalf("warm read: %v %v", buf, err)
+	}
+
+	opts := DefaultOptions()
+	opts.Flush = FlushNone
+	if err := f.k.SwapVA(f.ctx, f.as, a, b, 1, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Stale translation: charged read still sees the old frame.
+	f.as.Read(&f.ctx.Env, a, buf)
+	if buf[0] != 1 {
+		t.Fatalf("expected stale read of 1 without flush, got %d", buf[0])
+	}
+
+	// Now flush and observe the swap.
+	f.ctx.FlushLocal(f.as.ASID)
+	f.as.Read(&f.ctx.Env, a, buf)
+	if buf[0] != 2 {
+		t.Fatalf("after flush expected 2, got %d", buf[0])
+	}
+}
+
+func TestSwapVABroadcastVsLocalCost(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(4)
+	b, _ := f.as.MapRegion(4)
+
+	broadcast := DefaultOptions()
+	local := DefaultOptions()
+	local.Flush = FlushLocalOnly
+
+	c1 := f.m.NewContext(0)
+	if err := f.k.SwapVA(c1, f.as, a, b, 4, broadcast); err != nil {
+		t.Fatal(err)
+	}
+	c2 := f.m.NewContext(0)
+	if err := f.k.SwapVA(c2, f.as, a, b, 4, local); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Clock.Now() <= c2.Clock.Now() {
+		t.Errorf("broadcast (%v) should cost more than local flush (%v)", c1.Clock.Now(), c2.Clock.Now())
+	}
+	if c1.Perf.IPIsSent == 0 || c2.Perf.IPIsSent != 0 {
+		t.Errorf("ipis: broadcast=%d local=%d", c1.Perf.IPIsSent, c2.Perf.IPIsSent)
+	}
+}
+
+func TestPMDCachingReducesCostNotResult(t *testing.T) {
+	f := newFixture(t)
+	const pages = 64 // well within one 2MiB span
+	a, _ := f.as.MapRegion(pages)
+	b, _ := f.as.MapRegion(pages)
+	f.fillPages(t, a, pages, 0x11)
+	f.fillPages(t, b, pages, 0x22)
+	want := f.snapshot(t, b, pages)
+
+	with := DefaultOptions()
+	without := DefaultOptions()
+	without.PMDCaching = false
+
+	cWith := f.m.NewContext(0)
+	if err := f.k.SwapVA(cWith, f.as, a, b, pages, with); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.snapshot(t, a, pages), want) {
+		t.Fatal("swap with PMD caching produced wrong layout")
+	}
+	// Swap back without caching; costs must be higher, result symmetric.
+	cWithout := f.m.NewContext(0)
+	if err := f.k.SwapVA(cWithout, f.as, a, b, pages, without); err != nil {
+		t.Fatal(err)
+	}
+	if cWith.Clock.Now() >= cWithout.Clock.Now() {
+		t.Errorf("PMD caching did not reduce cost: with=%v without=%v",
+			cWith.Clock.Now(), cWithout.Clock.Now())
+	}
+	if cWith.Perf.PTLevelHits == 0 {
+		t.Error("no PMD cache hits recorded")
+	}
+	if cWithout.Perf.PTLevelHits != 0 {
+		t.Error("PMD cache hits recorded while disabled")
+	}
+}
+
+func TestAggregationSavesSyscalls(t *testing.T) {
+	f := newFixture(t)
+	const n, pages = 16, 2
+	reqs := make([]SwapReq, n)
+	for i := range reqs {
+		a, _ := f.as.MapRegion(pages)
+		b, _ := f.as.MapRegion(pages)
+		f.fillPages(t, a, pages, byte(i))
+		f.fillPages(t, b, pages, byte(i)+128)
+		reqs[i] = SwapReq{VA1: a, VA2: b, Pages: pages}
+	}
+	want := make([][]byte, n)
+	for i, r := range reqs {
+		want[i] = f.snapshot(t, r.VA2, pages)
+	}
+
+	cVec := f.m.NewContext(0)
+	if err := f.k.SwapVAVec(cVec, f.as, reqs, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if !bytes.Equal(f.snapshot(t, r.VA1, pages), want[i]) {
+			t.Fatalf("request %d not applied", i)
+		}
+	}
+	if cVec.Perf.Syscalls != 1 {
+		t.Errorf("aggregated call used %d syscalls", cVec.Perf.Syscalls)
+	}
+	if cVec.Perf.Shootdowns != 1 {
+		t.Errorf("aggregated call used %d shootdowns", cVec.Perf.Shootdowns)
+	}
+
+	// Separated calls (swap back) must cost strictly more.
+	cSep := f.m.NewContext(0)
+	for _, r := range reqs {
+		if err := f.k.SwapVA(cSep, f.as, r.VA1, r.VA2, r.Pages, DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cSep.Clock.Now() <= cVec.Clock.Now() {
+		t.Errorf("separated (%v) should cost more than aggregated (%v)",
+			cSep.Clock.Now(), cVec.Clock.Now())
+	}
+	if cSep.Perf.Syscalls != n {
+		t.Errorf("separated calls = %d syscalls, want %d", cSep.Perf.Syscalls, n)
+	}
+}
+
+func TestSwapVAVecStopsAtFirstError(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(1)
+	b, _ := f.as.MapRegion(1)
+	f.as.RawWrite(a, []byte{7})
+	f.as.RawWrite(b, []byte{9})
+	reqs := []SwapReq{
+		{VA1: a, VA2: b, Pages: 1},
+		{VA1: a + 1, VA2: b, Pages: 1}, // misaligned
+		{VA1: b, VA2: a, Pages: 1},     // must not run
+	}
+	err := f.k.SwapVAVec(f.ctx, f.as, reqs, DefaultOptions())
+	if !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("err = %v", err)
+	}
+	got := make([]byte, 1)
+	f.as.RawRead(a, got)
+	if got[0] != 9 {
+		t.Errorf("first request rolled back or third executed: a=%d", got[0])
+	}
+}
+
+func TestMemmoveCopiesAndCharges(t *testing.T) {
+	f := newFixture(t)
+	src, _ := f.as.MapRegion(4)
+	dst, _ := f.as.MapRegion(4)
+	f.fillPages(t, src, 4, 0x3C)
+	want := f.snapshot(t, src, 4)
+	if err := f.k.Memmove(f.ctx, f.as, dst, src, 4*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.snapshot(t, dst, 4), want) {
+		t.Error("memmove corrupted data")
+	}
+	if f.ctx.Perf.BytesCopied != 4*mem.PageSize {
+		t.Errorf("BytesCopied = %d", f.ctx.Perf.BytesCopied)
+	}
+	if f.ctx.Perf.Syscalls != 0 {
+		t.Error("memmove charged a syscall")
+	}
+	if err := f.k.Memmove(f.ctx, f.as, dst, src, 0); err != nil {
+		t.Errorf("zero-length memmove: %v", err)
+	}
+}
+
+func TestSwapVAFasterThanMemmoveForLargeObjects(t *testing.T) {
+	// The paper's core claim at the microbenchmark level: beyond the
+	// threshold (10 pages on the Gold 6130), SwapVA beats memmove.
+	f := newFixture(t)
+	const pages = 32
+	a, _ := f.as.MapRegion(pages)
+	b, _ := f.as.MapRegion(pages)
+
+	cSwap := f.m.NewContext(0)
+	if err := f.k.SwapVA(cSwap, f.as, a, b, pages, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	cMove := f.m.NewContext(0)
+	if err := f.k.Memmove(cMove, f.as, b, a, pages*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if cSwap.Clock.Now() >= cMove.Clock.Now() {
+		t.Errorf("SwapVA(%d pages)=%v not faster than memmove=%v",
+			pages, cSwap.Clock.Now(), cMove.Clock.Now())
+	}
+}
+
+func TestMemmoveFasterThanSwapVAForSmallObjects(t *testing.T) {
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(1)
+	b, _ := f.as.MapRegion(1)
+	cSwap := f.m.NewContext(0)
+	if err := f.k.SwapVA(cSwap, f.as, a, b, 1, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	cMove := f.m.NewContext(0)
+	if err := f.k.Memmove(cMove, f.as, b, a, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if cMove.Clock.Now() >= cSwap.Clock.Now() {
+		t.Errorf("memmove(1 page)=%v not faster than SwapVA=%v",
+			cMove.Clock.Now(), cSwap.Clock.Now())
+	}
+}
+
+func TestFlushPolicyString(t *testing.T) {
+	if FlushBroadcast.String() != "broadcast" || FlushLocalOnly.String() != "local" ||
+		FlushNone.String() != "none" || FlushPolicy(9).String() == "" {
+		t.Error("FlushPolicy.String broken")
+	}
+}
+
+// Property: for any non-overlapping layout and any page count, SwapVA is
+// exactly equivalent to three memmoves through a scratch region (i.e. a
+// true exchange), byte for byte.
+func TestSwapVAEquivalentToExchange(t *testing.T) {
+	f := newFixture(t)
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(pagesRaw uint8, seed int64) bool {
+		pages := int(pagesRaw)%16 + 1
+		a, err := f.as.MapRegion(pages)
+		if err != nil {
+			return false
+		}
+		b, err := f.as.MapRegion(pages)
+		if err != nil {
+			return false
+		}
+		n := pages * mem.PageSize
+		bufA, bufB := make([]byte, n), make([]byte, n)
+		rng := seed
+		for i := range bufA {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			bufA[i] = byte(rng >> 32)
+			bufB[i] = byte(rng >> 40)
+		}
+		f.as.RawWrite(a, bufA)
+		f.as.RawWrite(b, bufB)
+		if err := f.k.SwapVA(f.ctx, f.as, a, b, pages, DefaultOptions()); err != nil {
+			return false
+		}
+		gotA, gotB := make([]byte, n), make([]byte, n)
+		f.as.RawRead(a, gotA)
+		f.as.RawRead(b, gotB)
+		ok := bytes.Equal(gotA, bufB) && bytes.Equal(gotB, bufA)
+		f.as.Unmap(a, pages, true)
+		f.as.Unmap(b, pages, true)
+		return ok
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

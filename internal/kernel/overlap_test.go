@@ -1,0 +1,256 @@
+package kernel
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// checkOverlapContract verifies the overlap-swap contract against the
+// original contents of the combined region: the first p pages now hold the
+// former contents of pages [delta, delta+p), and the whole region is a
+// permutation of the original pages (nothing duplicated or lost).
+func checkOverlapContract(t *testing.T, orig, got []byte, pages, delta int) {
+	t.Helper()
+	p := pages * mem.PageSize
+	d := delta * mem.PageSize
+	if !bytes.Equal(got[:p], orig[d:d+p]) {
+		t.Error("destination range does not hold the source range's former contents")
+	}
+	if !samePageMultiset(orig, got) {
+		t.Error("combined region is not a permutation of the original pages")
+	}
+}
+
+func samePageMultiset(a, b []byte) bool {
+	pageKeys := func(buf []byte) []string {
+		keys := make([]string, 0, len(buf)/mem.PageSize)
+		for off := 0; off+mem.PageSize <= len(buf); off += mem.PageSize {
+			keys = append(keys, string(buf[off:off+mem.PageSize]))
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	ka, kb := pageKeys(a), pageKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func overlapFixture(t *testing.T, totalPages int) (*fixture, uint64) {
+	t.Helper()
+	f := newFixture(t)
+	va, err := f.as.MapRegion(totalPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, va
+}
+
+func fillDistinct(t *testing.T, f *fixture, va uint64, pages int) []byte {
+	t.Helper()
+	buf := make([]byte, pages*mem.PageSize)
+	for i := range buf {
+		buf[i] = byte((i/mem.PageSize)*37 + i%241)
+	}
+	if err := f.as.RawWrite(va, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestSwapOverlapContract(t *testing.T) {
+	cases := []struct{ pages, delta int }{
+		{4, 2}, {4, 1}, {6, 3}, {6, 4}, {1, 1}, {10, 10}, {9, 6}, {7, 5}, {12, 7},
+	}
+	for _, c := range cases {
+		total := c.pages + c.delta
+		f, va := overlapFixture(t, total)
+		orig := fillDistinct(t, f, va, total)
+
+		err := f.k.SwapVA(f.ctx, f.as, va, va+uint64(c.delta)<<mem.PageShift, c.pages, DefaultOptions())
+		if err != nil {
+			t.Fatalf("pages=%d delta=%d: %v", c.pages, c.delta, err)
+		}
+		got := make([]byte, len(orig))
+		f.as.RawRead(va, got)
+		checkOverlapContract(t, orig, got, c.pages, c.delta)
+	}
+}
+
+func TestSwapOverlapIsRotation(t *testing.T) {
+	// The optimised path is exactly a left rotation by delta of the
+	// combined region.
+	const pages, delta = 7, 3
+	total := pages + delta
+	f, va := overlapFixture(t, total)
+	orig := fillDistinct(t, f, va, total)
+	if err := f.k.SwapVA(f.ctx, f.as, va, va+uint64(delta)<<mem.PageShift, pages, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(orig))
+	f.as.RawRead(va, got)
+	n := total * mem.PageSize
+	d := delta * mem.PageSize
+	want := append(append([]byte(nil), orig[d:]...), orig[:d]...)
+	if len(want) != n || !bytes.Equal(got, want) {
+		t.Error("overlap swap is not a left rotation by delta")
+	}
+}
+
+func TestSwapOverlapSymmetricOperands(t *testing.T) {
+	// swap(A,B) and swap(B,A) must satisfy the same contract.
+	const pages, delta = 6, 2
+	total := pages + delta
+	f, va := overlapFixture(t, total)
+	orig := fillDistinct(t, f, va, total)
+	hi := va + uint64(delta)<<mem.PageShift
+	if err := f.k.SwapVA(f.ctx, f.as, hi, va, pages, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(orig))
+	f.as.RawRead(va, got)
+	checkOverlapContract(t, orig, got, pages, delta)
+}
+
+func TestSwapOverlapCheaperThanPairwise(t *testing.T) {
+	// O(n+δ) vs O(2n): for small δ the cycle-chasing version must win.
+	const pages, delta = 32, 4
+	run := func(overlapOpt bool) sim.Time {
+		f, va := overlapFixture(t, pages+delta)
+		fillDistinct(t, f, va, pages+delta)
+		opts := DefaultOptions()
+		opts.Overlap = overlapOpt
+		opts.Flush = FlushLocalOnly
+		ctx := f.m.NewContext(0)
+		if err := f.k.SwapVA(ctx, f.as, va, va+uint64(delta)<<mem.PageShift, pages, opts); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Clock.Now()
+	}
+	fast, slow := run(true), run(false)
+	if fast >= slow {
+		t.Errorf("overlap-optimised swap (%v) not cheaper than pairwise (%v)", fast, slow)
+	}
+}
+
+func TestSwapOverlapPerPageFlush(t *testing.T) {
+	// The literal Algorithm 2 listing flushes each slot; it must still
+	// satisfy the contract and record the invlpg operations.
+	const pages, delta = 8, 3
+	total := pages + delta
+	f, va := overlapFixture(t, total)
+	orig := fillDistinct(t, f, va, total)
+	opts := DefaultOptions()
+	opts.PerPageFlush = true
+	if err := f.k.SwapVA(f.ctx, f.as, va, va+uint64(delta)<<mem.PageShift, pages, opts); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(orig))
+	f.as.RawRead(va, got)
+	checkOverlapContract(t, orig, got, pages, delta)
+	if f.ctx.Perf.TLBFlushPage != uint64(pages+delta) {
+		t.Errorf("invlpg count = %d, want %d", f.ctx.Perf.TLBFlushPage, pages+delta)
+	}
+}
+
+func TestSwapOverlapDisabledStillCorrect(t *testing.T) {
+	// With the optimisation off, the sequential pairwise loop must satisfy
+	// the same contract.
+	const pages, delta = 8, 3
+	total := pages + delta
+	f, va := overlapFixture(t, total)
+	orig := fillDistinct(t, f, va, total)
+	opts := DefaultOptions()
+	opts.Overlap = false
+	if err := f.k.SwapVA(f.ctx, f.as, va, va+uint64(delta)<<mem.PageShift, pages, opts); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(orig))
+	f.as.RawRead(va, got)
+	checkOverlapContract(t, orig, got, pages, delta)
+}
+
+func TestSwapOverlapUnmappedTail(t *testing.T) {
+	// The combined region must be mapped; a hole must produce an error
+	// rather than corruption.
+	const pages, delta = 4, 2
+	f := newFixture(t)
+	va, _ := f.as.MapRegion(pages + delta)
+	f.as.Unmap(va+uint64(pages+delta-1)<<mem.PageShift, 1, true)
+	err := f.k.SwapVA(f.ctx, f.as, va, va+uint64(delta)<<mem.PageShift, pages, DefaultOptions())
+	if err == nil {
+		t.Fatal("swap across unmapped hole succeeded")
+	}
+}
+
+// Property: for any (pages, delta) with 1 <= delta <= pages, both the
+// optimised and the pairwise path satisfy the overlap contract.
+func TestSwapOverlapQuick(t *testing.T) {
+	prop := func(p, d uint8, optimised bool) bool {
+		pages := int(p)%12 + 1
+		delta := int(d)%pages + 1
+		total := pages + delta
+		m := machine.MustNew(machine.Config{Cost: sim.CoreI5_7600()})
+		k := New(m)
+		as := m.NewAddressSpace()
+		ctx := m.NewContext(0)
+		va, err := as.MapRegion(total)
+		if err != nil {
+			return false
+		}
+		orig := make([]byte, total*mem.PageSize)
+		for i := range orig {
+			orig[i] = byte((i/mem.PageSize)*31 + i%251)
+		}
+		as.RawWrite(va, orig)
+		opts := DefaultOptions()
+		opts.Overlap = optimised
+		if err := k.SwapVA(ctx, as, va, va+uint64(delta)<<mem.PageShift, pages, opts); err != nil {
+			return false
+		}
+		got := make([]byte, len(orig))
+		as.RawRead(va, got)
+		pBytes := pages * mem.PageSize
+		dBytes := delta * mem.PageSize
+		return bytes.Equal(got[:pBytes], orig[dBytes:dBytes+pBytes]) && samePageMultiset(orig, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindSwapPlace(t *testing.T) {
+	// findSwapPlace(i, d, p) must equal (i-d) mod (p+d).
+	for p := 1; p <= 8; p++ {
+		for d := 1; d <= p; d++ {
+			n := p + d
+			for i := 0; i < n; i++ {
+				want := ((i-d)%n + n) % n
+				if got := findSwapPlace(i, d, p); got != want {
+					t.Fatalf("findSwapPlace(%d,%d,%d) = %d, want %d", i, d, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]int{{12, 8, 4}, {7, 5, 1}, {10, 10, 10}, {9, 6, 3}, {1, 1, 1}}
+	for _, c := range cases {
+		if got := gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

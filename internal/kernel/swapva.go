@@ -1,0 +1,185 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+)
+
+// SwapVA exchanges the physical frames backing two equally sized virtual
+// ranges by swapping their PTEs — the paper's Algorithm 1. After the call,
+// loads through either range observe the other range's former contents,
+// with zero bytes copied. The TLB-coherence policy is selected by opts.
+//
+// When the two ranges overlap and opts.Overlap is set, the call dispatches
+// to the cycle-chasing Algorithm 2 (see SwapOverlap); otherwise overlapping
+// ranges are processed by the same sequential pairwise loop, which yields
+// the identical final layout (a rotation of the combined region) at O(2n)
+// cost instead of O(n+δ).
+func (k *Kernel) SwapVA(ctx *machine.Context, as *mmu.AddressSpace,
+	va1, va2 uint64, pages int, opts Options) error {
+
+	if err := checkArgs(va1, va2, pages); err != nil {
+		return err
+	}
+	ctx.Clock.Advance(ctx.Cost.SyscallNs)
+	ctx.Perf.Syscalls++
+	ctx.Perf.SwapVACalls++
+	if va1 == va2 {
+		return nil // swapping a range with itself is a no-op
+	}
+	if opts.Overlap && rangesOverlap(va1, va2, pages) {
+		if err := k.swapOverlapBody(ctx, as, va1, va2, pages, opts); err != nil {
+			return err
+		}
+	} else if err := k.swapBody(ctx, as, va1, va2, pages, opts); err != nil {
+		return err
+	}
+	ctx.Perf.PagesSwapped += uint64(pages)
+	k.flush(ctx, as, opts.Flush)
+	return nil
+}
+
+// SwapReq is one element of an aggregated SwapVA invocation.
+type SwapReq struct {
+	VA1, VA2 uint64
+	Pages    int
+}
+
+// SwapVAVec performs many swaps under a single system-call entry and a
+// single trailing TLB flush — the aggregation optimisation of Fig. 5(b).
+// Requests are applied in order; an invalid request aborts the call after
+// the preceding requests have taken effect (the flush still runs so the
+// TLBs stay coherent with whatever was applied).
+func (k *Kernel) SwapVAVec(ctx *machine.Context, as *mmu.AddressSpace,
+	reqs []SwapReq, opts Options) error {
+
+	ctx.Clock.Advance(ctx.Cost.SyscallNs)
+	ctx.Perf.Syscalls++
+	ctx.Perf.SwapVACalls++
+	var firstErr error
+	for _, r := range reqs {
+		if firstErr = checkArgs(r.VA1, r.VA2, r.Pages); firstErr != nil {
+			break
+		}
+		if r.VA1 == r.VA2 {
+			continue
+		}
+		if opts.Overlap && rangesOverlap(r.VA1, r.VA2, r.Pages) {
+			firstErr = k.swapOverlapBody(ctx, as, r.VA1, r.VA2, r.Pages, opts)
+		} else {
+			firstErr = k.swapBody(ctx, as, r.VA1, r.VA2, r.Pages, opts)
+		}
+		if firstErr != nil {
+			break
+		}
+		ctx.Perf.PagesSwapped += uint64(r.Pages)
+	}
+	k.flush(ctx, as, opts.Flush)
+	return firstErr
+}
+
+// swapBody is the PTE-exchange loop of Algorithm 1 (lines 12–18): for each
+// page pair, resolve both PTEs (through per-range PMD caches), take the
+// split page-table locks, and exchange the frames. With opts.HugeSwap,
+// stretches where both cursors sit on 2 MiB boundaries with at least a
+// full span remaining are exchanged as whole PMD entries instead.
+func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
+	va1, va2 uint64, pages int, opts Options) error {
+
+	const hugePages = int(mmu.PMDSpan >> mem.PageShift)
+	var pc1, pc2 mmu.PMDCache
+	for i := 0; i < pages; {
+		off := uint64(i) << mem.PageShift
+		a, b := va1+off, va2+off
+		if opts.HugeSwap && pages-i >= hugePages &&
+			a%mmu.PMDSpan == 0 && b%mmu.PMDSpan == 0 {
+			// One pointer swap relocates 512 pages: charge two walks to
+			// the PMD level plus the locked exchange.
+			ctx.Clock.Advance(2*3*ctx.Cost.PTWalkLevelNs +
+				2*ctx.Cost.PTELockNs + 2*ctx.Cost.PTEUpdateNs)
+			if err := as.SwapPMDEntries(a, b); err != nil {
+				return err
+			}
+			ctx.Perf.PMDSwaps++
+			pc1.Invalidate() // the cached tables moved
+			pc2.Invalidate()
+			i += hugePages
+			continue
+		}
+		pt1, idx1, err := k.getPTE(ctx, as, a, &pc1, opts.PMDCaching)
+		if err != nil {
+			return err
+		}
+		pt2, idx2, err := k.getPTE(ctx, as, b, &pc2, opts.PMDCaching)
+		if err != nil {
+			return err
+		}
+		if err := swapPTEs(ctx, pt1, idx1, pt2, idx2, a, b); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// swapPTEs exchanges two present PTEs under their table locks, acquiring
+// distinct tables in a global order (by table identity via their spans) so
+// concurrent callers cannot deadlock.
+func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
+	pt2 *mmu.PTETable, idx2 int, va1, va2 uint64) error {
+
+	ctx.Clock.Advance(2 * ctx.Cost.PTELockNs)
+	if pt1 == pt2 {
+		pt1.Lock()
+		defer pt1.Unlock()
+	} else if va1 < va2 {
+		pt1.Lock()
+		pt2.Lock()
+		defer pt1.Unlock()
+		defer pt2.Unlock()
+	} else {
+		pt2.Lock()
+		pt1.Lock()
+		defer pt1.Unlock()
+		defer pt2.Unlock()
+	}
+	e1, e2 := pt1.Entry(idx1), pt2.Entry(idx2)
+	if !e1.Present {
+		return fmt.Errorf("%w: va %#x", ErrNotMapped, va1)
+	}
+	if !e2.Present {
+		return fmt.Errorf("%w: va %#x", ErrNotMapped, va2)
+	}
+	e1.Frame, e2.Frame = e2.Frame, e1.Frame
+	ctx.Clock.Advance(2 * ctx.Cost.PTEUpdateNs)
+	return nil
+}
+
+// flush applies the trailing TLB-coherence step of the system call.
+func (k *Kernel) flush(ctx *machine.Context, as *mmu.AddressSpace, p FlushPolicy) {
+	switch p {
+	case FlushBroadcast:
+		ctx.ShootdownAll(as.ASID)
+	case FlushLocalOnly:
+		ctx.FlushLocal(as.ASID)
+	case FlushNone:
+	}
+}
+
+// Memmove copies n bytes from src to dst through the memory system — the
+// byte-copy baseline SwapVA replaces. It has no system-call cost (it is
+// user-space code) but pays full streaming traffic for the read and the
+// write, subject to bus contention.
+func (k *Kernel) Memmove(ctx *machine.Context, as *mmu.AddressSpace,
+	dst, src uint64, n int) error {
+
+	if n <= 0 {
+		return nil
+	}
+	ctx.Perf.MemmoveCalls++
+	ctx.Perf.BytesCopied += uint64(n)
+	return as.Copy(&ctx.Env, dst, src, n)
+}

@@ -1,0 +1,206 @@
+// Package machine assembles the simulated multi-core computer: cores with
+// private TLBs, a shared last-level cache, physical memory, a contended
+// memory bus, and the inter-processor-interrupt (IPI) mechanism used for
+// TLB shootdowns. It also defines Context, the per-simulated-thread handle
+// that all higher layers (kernel, heap, collectors, workloads) execute
+// through.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+)
+
+// Core is one simulated CPU core.
+type Core struct {
+	ID  int
+	TLB *mmu.TLB
+}
+
+// Config describes a machine to build.
+type Config struct {
+	Cost       *sim.CostModel
+	PhysBytes  int64 // physical memory; <= 0 means unlimited
+	LLCBytes   int   // shared cache size; <= 0 picks a default
+	LLCWays    int   // associativity; <= 0 picks a default
+	TLBEntries int   // per-core TLB entries; <= 0 picks a default
+}
+
+// Machine is the simulated computer.
+type Machine struct {
+	Cost *sim.CostModel
+	Phys *mem.PhysMem
+	LLC  *cache.Cache
+
+	cores []*Core
+	bus   Bus
+
+	asidNext atomic.Uint32
+
+	// shootdownMu serialises shootdown state mutation across concurrently
+	// driven contexts (experiments are usually single-goroutine, but the
+	// machine stays safe if they are not).
+	shootdownMu sync.Mutex
+	shootdowns  atomic.Uint64 // broadcasts since boot, all ASIDs
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Cost == nil {
+		return nil, fmt.Errorf("machine: Config.Cost is required")
+	}
+	if err := cfg.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	llcBytes := cfg.LLCBytes
+	if llcBytes <= 0 {
+		// The default LLC is deliberately small relative to the scaled
+		// heaps, preserving the paper's heap:LLC disproportion (tens of
+		// GiB of heap against a ~22 MiB Xeon LLC) at laptop scale.
+		llcBytes = 2 << 20
+	}
+	ways := cfg.LLCWays
+	if ways <= 0 {
+		ways = 16
+	}
+	llc, err := cache.New(llcBytes, ways, cfg.Cost.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	tlbEntries := cfg.TLBEntries
+	if tlbEntries <= 0 {
+		tlbEntries = mmu.DefaultTLBEntries
+	}
+	m := &Machine{
+		Cost:  cfg.Cost,
+		Phys:  mem.NewPhysMem(cfg.PhysBytes),
+		LLC:   llc,
+		cores: make([]*Core, cfg.Cost.Cores),
+	}
+	for i := range m.cores {
+		m.cores[i] = &Core{ID: i, TLB: mmu.NewTLB(tlbEntries)}
+	}
+	m.bus.init(cfg.Cost)
+	m.asidNext.Store(1)
+	return m, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumCores returns the online core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core id.
+func (m *Machine) Core(id int) *Core { return m.cores[id] }
+
+// Bus returns the memory bus.
+func (m *Machine) Bus() *Bus { return &m.bus }
+
+// NewAddressSpace creates a process address space with a fresh ASID.
+func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
+	return mmu.NewAddressSpace(m.asidNext.Add(1), m.Phys)
+}
+
+// Shootdowns reports the number of TLB-shootdown broadcasts since boot.
+func (m *Machine) Shootdowns() uint64 { return m.shootdowns.Load() }
+
+// Context is the execution context of one simulated thread: its clock and
+// counters, the core it currently runs on, and the charged-memory-access
+// environment derived from them. Contexts are cheap; collectors create one
+// per virtual worker.
+type Context struct {
+	mmu.Env
+	M      *Machine
+	Core   *Core
+	Pinned bool
+}
+
+// NewContext creates a thread context running on the given core.
+func (m *Machine) NewContext(coreID int) *Context {
+	if coreID < 0 || coreID >= len(m.cores) {
+		panic(fmt.Sprintf("machine: core %d out of range [0,%d)", coreID, len(m.cores)))
+	}
+	core := m.cores[coreID]
+	ctx := &Context{M: m, Core: core}
+	ctx.Env = mmu.Env{
+		Clock:   sim.NewClock(0),
+		Cost:    m.Cost,
+		Perf:    &sim.Perf{},
+		TLB:     core.TLB,
+		Cache:   m.LLC,
+		BW:      m.bus.EffectiveGBs,
+		Latency: m.bus.LatencyFactor,
+	}
+	return ctx
+}
+
+// Fork creates a context sharing this one's machine but with its own clock
+// and counters, placed on core (base.Core.ID + i) mod cores — the pattern
+// collectors use to spread virtual workers over cores.
+func (ctx *Context) Fork(i int) *Context {
+	nc := ctx.M.NewContext((ctx.Core.ID + i) % ctx.M.NumCores())
+	nc.Clock.AdvanceTo(ctx.Clock.Now())
+	return nc
+}
+
+// Pin charges the cost of pinning the thread to its current core
+// (sched_setaffinity in the paper's Algorithm 4) and marks it pinned.
+func (ctx *Context) Pin() {
+	ctx.Clock.Advance(ctx.Cost.PinNs)
+	ctx.Pinned = true
+}
+
+// Unpin releases the pin.
+func (ctx *Context) Unpin() {
+	ctx.Clock.Advance(ctx.Cost.PinNs)
+	ctx.Pinned = false
+}
+
+// FlushLocal invalidates the calling core's TLB entries for asid and
+// charges the local flush cost (flush_tlb_local).
+func (ctx *Context) FlushLocal(asid uint32) {
+	ctx.Core.TLB.FlushASID(asid)
+	ctx.Clock.Advance(ctx.Cost.TLBFlushLocalNs)
+	ctx.Perf.TLBFlushLocal++
+}
+
+// FlushPageLocal invalidates one page translation on the calling core
+// (invlpg) and charges its cost.
+func (ctx *Context) FlushPageLocal(asid uint32, vpn uint64) {
+	ctx.Core.TLB.FlushPage(asid, vpn)
+	ctx.Clock.Advance(ctx.Cost.TLBFlushPageNs)
+	ctx.Perf.TLBFlushPage++
+}
+
+// ShootdownAll performs a full TLB shootdown for asid: it flushes the
+// local TLB and broadcasts IPIs to every other online core, whose TLBs
+// are invalidated for that ASID (flush_tlb_all_cores in Algorithm 4 /
+// the per-call broadcast in the unoptimised SwapVA). The initiating
+// thread is charged the local flush plus the broadcast initiation and
+// per-core acknowledgement costs.
+func (ctx *Context) ShootdownAll(asid uint32) {
+	m := ctx.M
+	m.shootdownMu.Lock()
+	for _, c := range m.cores {
+		c.TLB.FlushASID(asid)
+	}
+	m.shootdownMu.Unlock()
+	m.shootdowns.Add(1)
+	ctx.Clock.Advance(ctx.Cost.TLBFlushLocalNs + ctx.Cost.ShootdownNs())
+	ctx.Perf.TLBFlushLocal++
+	ctx.Perf.Shootdowns++
+	ctx.Perf.IPIsSent += uint64(m.NumCores() - 1)
+}

@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The machine's shared state (physical memory allocation, the bus, the
+// LLC, shootdowns) claims goroutine safety so several JVMs can be driven
+// concurrently. These tests exercise that claim; run them with -race.
+
+func TestConcurrentContextsShareMachineSafely(t *testing.T) {
+	m := MustNew(Config{Cost: sim.XeonGold6130()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			as := m.NewAddressSpace()
+			ctx := m.NewContext(g % m.NumCores())
+			va, err := as.MapRegion(32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 4096)
+			for i := range buf {
+				buf[i] = byte(g)
+			}
+			for rep := 0; rep < 50; rep++ {
+				if err := as.Write(&ctx.Env, va+uint64(rep%16)<<12, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, 4096)
+				if err := as.Read(&ctx.Env, va+uint64(rep%16)<<12, got); err != nil {
+					t.Error(err)
+					return
+				}
+				if got[100] != byte(g) {
+					t.Errorf("goroutine %d read %d", g, got[100])
+					return
+				}
+				m.Bus().AddStreams(1)
+				_ = m.Bus().EffectiveGBs()
+				m.Bus().AddStreams(-1)
+				if rep%10 == 9 {
+					ctx.ShootdownAll(as.ASID)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentShootdownsDistinctASIDs(t *testing.T) {
+	m := MustNew(Config{Cost: sim.XeonGold6130()})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := m.NewContext(g)
+			asid := uint32(g + 1)
+			for rep := 0; rep < 100; rep++ {
+				ctx.Core.TLB.Insert(asid, uint64(rep), 1)
+				ctx.ShootdownAll(asid)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Shootdowns() != 600 {
+		t.Errorf("shootdowns = %d, want 600", m.Shootdowns())
+	}
+}

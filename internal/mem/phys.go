@@ -1,0 +1,134 @@
+// Package mem implements the simulated physical memory: a pool of 4 KiB
+// frames with an allocator. Frames hold real bytes — every simulated-heap
+// object's contents live here — so remapping experiments (SwapVA) can be
+// verified for correctness by reading the bytes back through the MMU.
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// PageShift is log2 of the page/frame size, matching x86-64 4 KiB pages.
+	PageShift = 12
+	// PageSize is the frame size in bytes.
+	PageSize = 1 << PageShift
+	// PageMask masks the in-page offset bits of an address.
+	PageMask = PageSize - 1
+)
+
+// FrameID identifies one physical frame. The zero value is reserved as
+// "no frame" so page-table entries can use 0 for not-present.
+type FrameID uint32
+
+// NilFrame is the reserved invalid frame.
+const NilFrame FrameID = 0
+
+// PhysMem is the simulated physical memory. Allocation is mutex-protected;
+// Frame lookups are lock-free (the frame table is replaced atomically when
+// it grows) so translated accesses never contend with the allocator.
+type PhysMem struct {
+	mu    sync.Mutex
+	table atomic.Pointer[[]*[PageSize]byte] // index 0 unused (NilFrame)
+	free  []FrameID
+	limit int // maximum number of frames, 0 = unlimited
+	inUse int
+}
+
+// NewPhysMem creates a physical memory able to hold up to totalBytes of
+// frame storage (rounded down to whole frames). totalBytes <= 0 means
+// unlimited. Frame storage is allocated lazily.
+func NewPhysMem(totalBytes int64) *PhysMem {
+	limit := 0
+	if totalBytes > 0 {
+		limit = int(totalBytes >> PageShift)
+	}
+	pm := &PhysMem{limit: limit}
+	initial := make([]*[PageSize]byte, 1, 1024) // slot 0 = NilFrame
+	pm.table.Store(&initial)
+	return pm
+}
+
+// AllocFrame returns a zeroed frame, or an error when physical memory is
+// exhausted.
+func (pm *PhysMem) AllocFrame() (FrameID, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	cur := *pm.table.Load()
+	if n := len(pm.free); n > 0 {
+		id := pm.free[n-1]
+		pm.free = pm.free[:n-1]
+		*cur[id] = [PageSize]byte{}
+		pm.inUse++
+		return id, nil
+	}
+	if pm.limit > 0 && len(cur)-1 >= pm.limit {
+		return NilFrame, fmt.Errorf("mem: out of physical memory (%d frames)", pm.limit)
+	}
+	next := cur
+	if len(cur) == cap(cur) {
+		next = make([]*[PageSize]byte, len(cur), 2*cap(cur))
+		copy(next, cur)
+	}
+	next = append(next, new([PageSize]byte))
+	pm.table.Store(&next)
+	pm.inUse++
+	return FrameID(len(next) - 1), nil
+}
+
+// AllocFrames allocates n frames, returning an error (and freeing any
+// partial allocation) if physical memory runs out.
+func (pm *PhysMem) AllocFrames(n int) ([]FrameID, error) {
+	ids := make([]FrameID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := pm.AllocFrame()
+		if err != nil {
+			pm.FreeFrames(ids)
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// FreeFrame returns a frame to the free pool. Freeing NilFrame is a no-op.
+// The caller is responsible for ensuring no mapping still references the
+// frame; the MMU layer enforces this for address spaces.
+func (pm *PhysMem) FreeFrame(id FrameID) {
+	if id == NilFrame {
+		return
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.free = append(pm.free, id)
+	pm.inUse--
+}
+
+// FreeFrames frees each frame in ids.
+func (pm *PhysMem) FreeFrames(ids []FrameID) {
+	for _, id := range ids {
+		pm.FreeFrame(id)
+	}
+}
+
+// Frame returns the byte storage of a frame. It panics on NilFrame or an
+// out-of-range ID, which always indicates a translation bug.
+func (pm *PhysMem) Frame(id FrameID) *[PageSize]byte {
+	cur := *pm.table.Load()
+	if id == NilFrame || int(id) >= len(cur) {
+		panic(fmt.Sprintf("mem: invalid frame %d", id))
+	}
+	return cur[id]
+}
+
+// FramesInUse reports the number of live frames.
+func (pm *PhysMem) FramesInUse() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.inUse
+}
+
+// Limit reports the configured frame limit (0 = unlimited).
+func (pm *PhysMem) Limit() int { return pm.limit }

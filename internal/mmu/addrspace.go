@@ -1,0 +1,355 @@
+package mmu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// AddressSpace is one simulated process address space: an ASID, a page
+// table, and a simple bump region allocator for mmap-style reservations.
+// Loads and stores go through Translate and are charged to the caller's
+// Env; the kernel layer manipulates PTEs directly via PTETableFor.
+type AddressSpace struct {
+	ASID uint32
+	Phys *mem.PhysMem
+
+	mapMu       sync.Mutex
+	root        pgd
+	vaNext      uint64
+	mappedPages int
+}
+
+// MmapBase is where region allocation starts; it leaves page 0 and the
+// low canonical range unmapped so nil-like VAs fault loudly.
+const MmapBase = uint64(0x10_0000_0000)
+
+// NewAddressSpace creates an empty address space over phys.
+func NewAddressSpace(asid uint32, phys *mem.PhysMem) *AddressSpace {
+	return &AddressSpace{ASID: asid, Phys: phys, vaNext: MmapBase}
+}
+
+// Map backs [va, va+pages*PageSize) with freshly allocated zeroed frames.
+// va must be page-aligned and the range must be currently unmapped.
+func (as *AddressSpace) Map(va uint64, pages int) error {
+	if va&mem.PageMask != 0 {
+		return fmt.Errorf("mmu: Map: va %#x not page-aligned", va)
+	}
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	for i := 0; i < pages; i++ {
+		addr := va + uint64(i)<<mem.PageShift
+		pt := as.root.walk(addr, true)
+		e := pt.Entry(PTEIndex(addr))
+		if e.Present {
+			// Roll back this call's mappings before failing.
+			as.unmapLocked(va, i, true)
+			return fmt.Errorf("mmu: Map: va %#x already mapped", addr)
+		}
+		f, err := as.Phys.AllocFrame()
+		if err != nil {
+			as.unmapLocked(va, i, true)
+			return err
+		}
+		pt.Lock()
+		e.Frame = f
+		e.Present = true
+		pt.Unlock()
+	}
+	as.mappedPages += pages
+	return nil
+}
+
+// MapRegion reserves and maps a fresh region of the given page count,
+// returning its base VA. An extra unmapped guard page is left between
+// regions so out-of-bounds accesses fault.
+func (as *AddressSpace) MapRegion(pages int) (uint64, error) {
+	as.mapMu.Lock()
+	va := as.vaNext
+	as.vaNext += uint64(pages+1) << mem.PageShift
+	as.mapMu.Unlock()
+	if err := as.Map(va, pages); err != nil {
+		return 0, err
+	}
+	return va, nil
+}
+
+// Unmap removes the mappings for [va, va+pages*PageSize); when freeFrames
+// is true the backing frames are returned to physical memory.
+func (as *AddressSpace) Unmap(va uint64, pages int, freeFrames bool) {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	as.unmapLocked(va, pages, freeFrames)
+}
+
+func (as *AddressSpace) unmapLocked(va uint64, pages int, freeFrames bool) {
+	for i := 0; i < pages; i++ {
+		addr := va + uint64(i)<<mem.PageShift
+		pt := as.root.walk(addr, false)
+		if pt == nil {
+			continue
+		}
+		e := pt.Entry(PTEIndex(addr))
+		if !e.Present {
+			continue
+		}
+		pt.Lock()
+		f := e.Frame
+		e.Frame = mem.NilFrame
+		e.Present = false
+		pt.Unlock()
+		if freeFrames {
+			as.Phys.FreeFrame(f)
+		}
+		as.mappedPages--
+	}
+}
+
+// MappedPages reports how many pages are currently mapped.
+func (as *AddressSpace) MappedPages() int {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	return as.mappedPages
+}
+
+// PTETableFor returns the PTE table and index covering va without charging
+// any cost — the kernel charges walks itself via its PMD cache. It errors
+// if no table exists.
+func (as *AddressSpace) PTETableFor(va uint64) (*PTETable, int, error) {
+	pt := as.root.walk(va, false)
+	if pt == nil {
+		return nil, 0, badVA("PTETableFor", va)
+	}
+	return pt, PTEIndex(va), nil
+}
+
+// SwapPMDEntries exchanges the two page-table (PMD) entries covering va1
+// and va2 — relocating 512 pages (2 MiB) in one pointer swap, the
+// huge-swap extension of SwapVA. Both addresses must be 2 MiB aligned and
+// their PMD entries present. The address-space mapping lock serialises
+// the exchange against mapping changes; the caller is responsible for TLB
+// coherence, exactly as with PTE swaps.
+func (as *AddressSpace) SwapPMDEntries(va1, va2 uint64) error {
+	if va1%PMDSpan != 0 || va2%PMDSpan != 0 {
+		return fmt.Errorf("mmu: SwapPMDEntries: %#x/%#x not 2MiB-aligned", va1, va2)
+	}
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	s1, err := as.pmdSlot(va1)
+	if err != nil {
+		return err
+	}
+	s2, err := as.pmdSlot(va2)
+	if err != nil {
+		return err
+	}
+	*s1, *s2 = *s2, *s1
+	return nil
+}
+
+// pmdSlot returns the address of the PMD entry (the *PTETable slot)
+// covering va; callers hold mapMu.
+func (as *AddressSpace) pmdSlot(va uint64) (**PTETable, error) {
+	pu := as.root.puds[pgdIndex(va)]
+	if pu == nil {
+		return nil, badVA("pmdSlot", va)
+	}
+	pm := pu.pmds[pudIndex(va)]
+	if pm == nil {
+		return nil, badVA("pmdSlot", va)
+	}
+	slot := &pm.tables[pmdIndex(va)]
+	if *slot == nil {
+		return nil, badVA("pmdSlot", va)
+	}
+	return slot, nil
+}
+
+// Lookup resolves va to a frame without charging or touching the TLB.
+func (as *AddressSpace) Lookup(va uint64) (mem.FrameID, bool) {
+	pt := as.root.walk(va, false)
+	if pt == nil {
+		return mem.NilFrame, false
+	}
+	e := pt.Entry(PTEIndex(va))
+	if !e.Present {
+		return mem.NilFrame, false
+	}
+	return e.Frame, true
+}
+
+// Translate resolves va through the Env's TLB (charging a hit or a full
+// walk) and returns the physical address.
+func (as *AddressSpace) Translate(env *Env, va uint64) (uint64, error) {
+	f, err := as.translatePage(env, va)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(f)<<mem.PageShift | va&mem.PageMask, nil
+}
+
+func (as *AddressSpace) translatePage(env *Env, va uint64) (mem.FrameID, error) {
+	vpn := VPN(va)
+	env.Perf.TLBLookups++
+	if f, ok := env.TLB.Lookup(as.ASID, vpn); ok {
+		env.Clock.Advance(env.Cost.TLBHitNs)
+		return f, nil
+	}
+	env.Perf.TLBMisses++
+	env.Perf.PTWalks++
+	env.Clock.Advance(env.Cost.WalkNs())
+	f, ok := as.Lookup(va)
+	if !ok {
+		return mem.NilFrame, badVA("translate", va)
+	}
+	env.TLB.Insert(as.ASID, vpn, f)
+	return f, nil
+}
+
+// ReadWord performs one charged 8-byte load. va must not cross a page.
+func (as *AddressSpace) ReadWord(env *Env, va uint64) (uint64, error) {
+	pa, err := as.Translate(env, va)
+	if err != nil {
+		return 0, err
+	}
+	env.chargeWordAccess(pa, false)
+	env.Perf.BytesRead += 8
+	f := as.Phys.Frame(mem.FrameID(pa >> mem.PageShift))
+	off := pa & mem.PageMask
+	return binary.LittleEndian.Uint64(f[off : off+8]), nil
+}
+
+// WriteWord performs one charged 8-byte store. va must not cross a page.
+func (as *AddressSpace) WriteWord(env *Env, va uint64, val uint64) error {
+	pa, err := as.Translate(env, va)
+	if err != nil {
+		return err
+	}
+	env.chargeWordAccess(pa, true)
+	env.Perf.BytesWrite += 8
+	f := as.Phys.Frame(mem.FrameID(pa >> mem.PageShift))
+	off := pa & mem.PageMask
+	binary.LittleEndian.PutUint64(f[off:off+8], val)
+	return nil
+}
+
+// Read copies len(p) bytes from va into p as a charged sequential stream.
+func (as *AddressSpace) Read(env *Env, va uint64, p []byte) error {
+	env.Perf.BytesRead += uint64(len(p))
+	return as.bulk(env, va, p, false)
+}
+
+// Write copies p to va as a charged sequential stream.
+func (as *AddressSpace) Write(env *Env, va uint64, p []byte) error {
+	env.Perf.BytesWrite += uint64(len(p))
+	return as.bulk(env, va, p, true)
+}
+
+func (as *AddressSpace) bulk(env *Env, va uint64, p []byte, write bool) error {
+	for len(p) > 0 {
+		f, err := as.translatePage(env, va)
+		if err != nil {
+			return err
+		}
+		off := int(va & mem.PageMask)
+		n := mem.PageSize - off
+		if n > len(p) {
+			n = len(p)
+		}
+		pa := uint64(f)<<mem.PageShift | uint64(off)
+		env.chargeBulkAccess(pa, n, write)
+		frame := as.Phys.Frame(f)
+		if write {
+			copy(frame[off:off+n], p[:n])
+		} else {
+			copy(p[:n], frame[off:off+n])
+		}
+		va += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// Copy performs a charged memmove of n bytes from src to dst within the
+// address space, handling overlap like memmove. It charges a streaming
+// read of the source plus a streaming write of the destination; the
+// actual byte movement goes through an intermediate buffer, which is a
+// host-side implementation detail with no simulated cost.
+func (as *AddressSpace) Copy(env *Env, dst, src uint64, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := as.chargeRange(env, src, n, false); err != nil {
+		return err
+	}
+	if err := as.chargeRange(env, dst, n, true); err != nil {
+		return err
+	}
+	env.Perf.BytesRead += uint64(n)
+	env.Perf.BytesWrite += uint64(n)
+	tmp := make([]byte, n)
+	if err := as.RawRead(src, tmp); err != nil {
+		return err
+	}
+	return as.RawWrite(dst, tmp)
+}
+
+func (as *AddressSpace) chargeRange(env *Env, va uint64, n int, write bool) error {
+	for n > 0 {
+		f, err := as.translatePage(env, va)
+		if err != nil {
+			return err
+		}
+		off := int(va & mem.PageMask)
+		seg := mem.PageSize - off
+		if seg > n {
+			seg = n
+		}
+		env.chargeBulkAccess(uint64(f)<<mem.PageShift|uint64(off), seg, write)
+		va += uint64(seg)
+		n -= seg
+	}
+	return nil
+}
+
+// RawRead copies bytes out of the address space without charging any
+// simulated cost or touching the TLB. It exists for verification (tests,
+// invariant checks) and host-side plumbing.
+func (as *AddressSpace) RawRead(va uint64, p []byte) error {
+	for len(p) > 0 {
+		f, ok := as.Lookup(va)
+		if !ok {
+			return badVA("RawRead", va)
+		}
+		off := int(va & mem.PageMask)
+		n := mem.PageSize - off
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(p[:n], as.Phys.Frame(f)[off:off+n])
+		va += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// RawWrite copies bytes into the address space without charging.
+func (as *AddressSpace) RawWrite(va uint64, p []byte) error {
+	for len(p) > 0 {
+		f, ok := as.Lookup(va)
+		if !ok {
+			return badVA("RawWrite", va)
+		}
+		off := int(va & mem.PageMask)
+		n := mem.PageSize - off
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(as.Phys.Frame(f)[off:off+n], p[:n])
+		va += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package mmu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// Env carries everything a simulated thread needs to perform charged
+// memory accesses: its clock, the machine cost model, its perf counters,
+// the TLB of the core it runs on, the shared cache, and the bus's current
+// effective bandwidth. The machine layer embeds Env in its per-thread
+// Context; bare Envs are convenient in unit tests.
+type Env struct {
+	Clock *sim.Clock
+	Cost  *sim.CostModel
+	Perf  *sim.Perf
+	TLB   *TLB
+	Cache *cache.Cache   // nil disables cache simulation (latency = DRAM)
+	BW    func() float64 // effective per-stream GB/s; nil → Cost.StreamBWGBs
+	// Latency scales latency-bound DRAM accesses for bus contention;
+	// nil means no contention (factor 1).
+	Latency func() float64
+}
+
+// NewEnv builds a self-contained Env (own clock, counters and TLB) for the
+// given cost model — the fixture used throughout the unit tests.
+func NewEnv(cost *sim.CostModel) *Env {
+	return &Env{
+		Clock: sim.NewClock(0),
+		Cost:  cost,
+		Perf:  &sim.Perf{},
+		TLB:   NewTLB(DefaultTLBEntries),
+	}
+}
+
+func (e *Env) bandwidth() float64 {
+	if e.BW != nil {
+		return e.BW()
+	}
+	return e.Cost.StreamBWGBs
+}
+
+// chargeWordAccess accounts for one latency-bound (random) access to the
+// line holding physical address pa. Stores to non-volatile memory pay
+// the model's write multiplier on a miss.
+func (e *Env) chargeWordAccess(pa uint64, write bool) {
+	e.Perf.CacheRefs++
+	if e.Cache != nil && e.Cache.Access(pa) {
+		e.Clock.Advance(e.Cost.CacheHitNs)
+		return
+	}
+	e.Perf.CacheMisses++
+	lat := float64(e.Cost.DRAMAccessNs)
+	if e.Latency != nil {
+		lat *= e.Latency()
+	}
+	if write {
+		lat *= e.Cost.WriteMult()
+	}
+	e.Clock.Advance(sim.Time(lat))
+}
+
+// chargeBulkAccess accounts for a sequential transfer of n bytes starting
+// at physical address pa. Misses stream at the bus's effective bandwidth
+// (divided by the NVM write multiplier for stores); cache-resident lines
+// cost one hit each.
+func (e *Env) chargeBulkAccess(pa uint64, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	line := e.Cost.CacheLineSize
+	lines := int((pa+uint64(n)-1)/uint64(line) - pa/uint64(line) + 1)
+	hits, misses := 0, lines
+	if e.Cache != nil {
+		hits, misses = e.Cache.AccessRange(pa, n)
+	}
+	e.Perf.CacheRefs += uint64(lines)
+	e.Perf.CacheMisses += uint64(misses)
+	bw := e.bandwidth()
+	if write {
+		bw /= e.Cost.WriteMult()
+	}
+	e.Clock.Advance(sim.CopyNs(misses*line, bw) +
+		sim.Time(hits)*e.Cost.CacheHitNs)
+}

@@ -1,0 +1,355 @@
+package mmu
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace(1, mem.NewPhysMem(0))
+}
+
+func TestMapAndLookup(t *testing.T) {
+	as := newAS(t)
+	if err := as.Map(MmapBase, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := as.Lookup(MmapBase + uint64(i)*mem.PageSize); !ok {
+			t.Errorf("page %d not mapped", i)
+		}
+	}
+	if _, ok := as.Lookup(MmapBase + 4*mem.PageSize); ok {
+		t.Error("page past the mapping is mapped")
+	}
+	if as.MappedPages() != 4 {
+		t.Errorf("MappedPages = %d, want 4", as.MappedPages())
+	}
+}
+
+func TestMapRejectsMisalignedAndDouble(t *testing.T) {
+	as := newAS(t)
+	if err := as.Map(MmapBase+1, 1); err == nil {
+		t.Error("misaligned Map succeeded")
+	}
+	if err := as.Map(MmapBase, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(MmapBase+mem.PageSize, 1); err == nil {
+		t.Error("double Map succeeded")
+	}
+	// The failed double-map must not have disturbed the original mapping.
+	if as.MappedPages() != 2 {
+		t.Errorf("MappedPages = %d, want 2", as.MappedPages())
+	}
+}
+
+func TestMapRollbackFreesFrames(t *testing.T) {
+	phys := mem.NewPhysMem(2 * mem.PageSize)
+	as := NewAddressSpace(1, phys)
+	if err := as.Map(MmapBase, 3); err == nil {
+		t.Fatal("Map beyond physical memory succeeded")
+	}
+	if phys.FramesInUse() != 0 {
+		t.Errorf("rollback leaked %d frames", phys.FramesInUse())
+	}
+}
+
+func TestMapRegionGuardGap(t *testing.T) {
+	as := newAS(t)
+	r1, err := as.MapRegion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := as.MapRegion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 <= r1+2*mem.PageSize {
+		t.Errorf("regions not separated: %#x then %#x", r1, r2)
+	}
+	if _, ok := as.Lookup(r1 + 2*mem.PageSize); ok {
+		t.Error("guard page is mapped")
+	}
+}
+
+func TestUnmapFreesFrames(t *testing.T) {
+	phys := mem.NewPhysMem(0)
+	as := NewAddressSpace(1, phys)
+	va, _ := as.MapRegion(8)
+	before := phys.FramesInUse()
+	as.Unmap(va, 8, true)
+	if phys.FramesInUse() != before-8 {
+		t.Errorf("Unmap freed %d frames, want 8", before-phys.FramesInUse())
+	}
+	if _, ok := as.Lookup(va); ok {
+		t.Error("page still mapped after Unmap")
+	}
+}
+
+func TestReadWriteWordRoundTrip(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.XeonGold6130())
+	va, _ := as.MapRegion(1)
+	if err := as.WriteWord(env, va+16, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadWord(env, va+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xdeadbeefcafe {
+		t.Fatalf("ReadWord = %#x", got)
+	}
+	if _, err := as.ReadWord(env, va+mem.PageSize*2); err == nil {
+		t.Error("read of unmapped VA succeeded")
+	}
+}
+
+func TestBulkReadWriteAcrossPages(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.XeonGold6130())
+	va, _ := as.MapRegion(3)
+	data := make([]byte, 3*mem.PageSize-100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := as.Write(env, va+50, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(env, va+50, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk round trip mismatch")
+	}
+	if env.Perf.BytesWrite != uint64(len(data)) || env.Perf.BytesRead != uint64(len(data)) {
+		t.Errorf("byte counters: read=%d write=%d want %d", env.Perf.BytesRead, env.Perf.BytesWrite, len(data))
+	}
+}
+
+func TestTranslateChargesTLB(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.XeonGold6130())
+	va, _ := as.MapRegion(1)
+
+	before := env.Clock.Now()
+	if _, err := as.Translate(env, va); err != nil {
+		t.Fatal(err)
+	}
+	missCost := env.Clock.Since(before)
+	if env.Perf.TLBMisses != 1 || env.Perf.PTWalks != 1 {
+		t.Fatalf("first translate: misses=%d walks=%d", env.Perf.TLBMisses, env.Perf.PTWalks)
+	}
+	if missCost != env.Cost.WalkNs() {
+		t.Errorf("miss cost %v, want %v", missCost, env.Cost.WalkNs())
+	}
+
+	before = env.Clock.Now()
+	if _, err := as.Translate(env, va+8); err != nil {
+		t.Fatal(err)
+	}
+	hitCost := env.Clock.Since(before)
+	if env.Perf.TLBMisses != 1 {
+		t.Error("second translate missed the TLB")
+	}
+	if hitCost != env.Cost.TLBHitNs {
+		t.Errorf("hit cost %v, want %v", hitCost, env.Cost.TLBHitNs)
+	}
+}
+
+func TestTranslatePhysicalOffset(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.XeonGold6130())
+	va, _ := as.MapRegion(1)
+	pa, err := as.Translate(env, va+123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa&mem.PageMask != 123 {
+		t.Errorf("physical offset = %d, want 123", pa&mem.PageMask)
+	}
+}
+
+func TestCopyNonOverlapping(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.XeonGold6130())
+	va, _ := as.MapRegion(4)
+	src, dst := va, va+2*mem.PageSize
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5}, 1000)
+	if err := as.Write(env, src, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Copy(env, dst, src, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	as.RawRead(dst, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("copy corrupted data")
+	}
+}
+
+// Property: Copy has memmove semantics under arbitrary overlap, matching
+// Go's copy on a reference buffer.
+func TestCopyOverlapMatchesMemmove(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.XeonGold6130())
+	const pages = 8
+	va, _ := as.MapRegion(pages)
+	size := pages * mem.PageSize
+
+	f := func(seed []byte, srcOff, dstOff, n uint16) bool {
+		if len(seed) == 0 {
+			seed = []byte{42}
+		}
+		ref := make([]byte, size)
+		for i := range ref {
+			ref[i] = seed[i%len(seed)]
+		}
+		s, d, l := int(srcOff)%size, int(dstOff)%size, int(n)
+		if s+l > size {
+			l = size - s
+		}
+		if d+l > size {
+			l = size - d
+		}
+		if err := as.RawWrite(va, ref); err != nil {
+			return false
+		}
+		if err := as.Copy(env, va+uint64(d), va+uint64(s), l); err != nil {
+			return false
+		}
+		copy(ref[d:d+l], append([]byte(nil), ref[s:s+l]...))
+		got := make([]byte, size)
+		as.RawRead(va, got)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBLookupInsertFlush(t *testing.T) {
+	tlb := NewTLB(64)
+	if tlb.Size() != 64 {
+		t.Fatalf("Size = %d", tlb.Size())
+	}
+	tlb.Insert(1, 100, 7)
+	tlb.Insert(2, 100, 9) // different ASID, same VPN slot: evicts
+	if _, ok := tlb.Lookup(1, 100); ok {
+		t.Error("direct-mapped slot should have been evicted")
+	}
+	if f, ok := tlb.Lookup(2, 100); !ok || f != 9 {
+		t.Error("lookup after insert failed")
+	}
+	tlb.Insert(1, 101, 8)
+	tlb.FlushASID(2)
+	if _, ok := tlb.Lookup(2, 100); ok {
+		t.Error("FlushASID left entry")
+	}
+	if _, ok := tlb.Lookup(1, 101); !ok {
+		t.Error("FlushASID flushed the wrong ASID")
+	}
+	tlb.FlushPage(1, 101)
+	if _, ok := tlb.Lookup(1, 101); ok {
+		t.Error("FlushPage left entry")
+	}
+	tlb.Insert(3, 200, 4)
+	tlb.FlushAll()
+	if _, ok := tlb.Lookup(3, 200); ok {
+		t.Error("FlushAll left entry")
+	}
+}
+
+func TestTLBSizeRoundsToPowerOfTwo(t *testing.T) {
+	if got := NewTLB(100).Size(); got != 128 {
+		t.Errorf("Size = %d, want 128", got)
+	}
+}
+
+func TestPMDCache(t *testing.T) {
+	var pc PMDCache
+	table := &PTETable{}
+	va := uint64(0x40000000)
+	if _, ok := pc.Lookup(va); ok {
+		t.Error("empty cache hit")
+	}
+	pc.Store(va, table)
+	if got, ok := pc.Lookup(va + PMDSpan - mem.PageSize); !ok || got != table {
+		t.Error("same-span lookup failed")
+	}
+	if _, ok := pc.Lookup(va + PMDSpan); ok {
+		t.Error("next-span lookup hit")
+	}
+	pc.Invalidate()
+	if _, ok := pc.Lookup(va); ok {
+		t.Error("lookup after Invalidate hit")
+	}
+}
+
+func TestPTETableForUnmapped(t *testing.T) {
+	as := newAS(t)
+	if _, _, err := as.PTETableFor(0xdead000); err == nil {
+		t.Error("PTETableFor on unmapped VA succeeded")
+	}
+	va, _ := as.MapRegion(1)
+	pt, idx, err := as.PTETableFor(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Entry(idx).Present {
+		t.Error("returned entry not present")
+	}
+}
+
+func TestChargeBulkUsesBandwidth(t *testing.T) {
+	cost := sim.XeonGold6130()
+	as := newAS(t)
+	env := NewEnv(cost)
+	va, _ := as.MapRegion(16)
+	buf := make([]byte, 16*mem.PageSize)
+
+	start := env.Clock.Now()
+	if err := as.Write(env, va, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := env.Clock.Since(start)
+	// All cold: cost ≈ bytes/streamBW plus 16 TLB walks; no cache, so pure DRAM path.
+	wantStream := sim.CopyNs(len(buf), cost.StreamBWGBs)
+	if elapsed < wantStream || elapsed > wantStream+sim.Time(16)*cost.WalkNs()+sim.Microsecond {
+		t.Errorf("bulk write cost %v, want ≈ %v", elapsed, wantStream)
+	}
+}
+
+// Property: writing then reading arbitrary data at arbitrary (mapped)
+// offsets round-trips.
+func TestReadWriteQuick(t *testing.T) {
+	as := newAS(t)
+	env := NewEnv(sim.CoreI5_7600())
+	const pages = 4
+	va, _ := as.MapRegion(pages)
+	f := func(data []byte, off uint16) bool {
+		o := int(off) % (pages * mem.PageSize)
+		if o+len(data) > pages*mem.PageSize {
+			data = data[:pages*mem.PageSize-o]
+		}
+		if err := as.Write(env, va+uint64(o), data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := as.Read(env, va+uint64(o), got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package mmu implements the simulated memory-management unit: x86-64
+// style four-level page tables (the p4d level is folded, as on 4-level
+// kernels), per-core TLBs, and address spaces whose loads and stores are
+// translated and charged against the cost model. The kernel's SwapVA
+// system call manipulates the PTEs defined here.
+package mmu
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Page-table geometry (x86-64, 4 KiB pages, 9 bits per level).
+const (
+	entriesPerLevel = 512
+	pteShift        = mem.PageShift // bits 12..20
+	pmdShift        = pteShift + 9  // bits 21..29
+	pudShift        = pmdShift + 9  // bits 30..38
+	pgdShift        = pudShift + 9  // bits 39..47
+	levelMask       = entriesPerLevel - 1
+
+	// PMDSpan is the virtual span covered by one PTE table (one PMD
+	// entry): 2 MiB. Pages within one span share the same PTE table,
+	// which is what the PMD-caching optimisation exploits.
+	PMDSpan = uint64(entriesPerLevel) * mem.PageSize
+
+	// WalkLevels is the number of directory accesses in a full walk.
+	WalkLevels = 4
+)
+
+// PTE is one page-table entry: the frame backing a virtual page.
+type PTE struct {
+	Frame   mem.FrameID
+	Present bool
+}
+
+// PTETable is the last level of the tree: 512 PTEs guarded by one lock,
+// mirroring Linux's split page-table locks (pte_offset_map_lock locks the
+// page that holds the PTEs).
+type PTETable struct {
+	mu   sync.Mutex
+	ptes [entriesPerLevel]PTE
+}
+
+// Lock acquires the table's PTE lock (pte_offset_map_lock).
+func (t *PTETable) Lock() { t.mu.Lock() }
+
+// Unlock releases the table's PTE lock (pte_unmap_unlock).
+func (t *PTETable) Unlock() { t.mu.Unlock() }
+
+// Entry returns a pointer to the idx'th PTE. The caller must hold the
+// table lock when mutating through it.
+func (t *PTETable) Entry(idx int) *PTE { return &t.ptes[idx] }
+
+type pmd struct {
+	tables [entriesPerLevel]*PTETable
+}
+
+type pud struct {
+	pmds [entriesPerLevel]*pmd
+}
+
+type pgd struct {
+	puds [entriesPerLevel]*pud
+}
+
+func pgdIndex(va uint64) int { return int(va>>pgdShift) & levelMask }
+func pudIndex(va uint64) int { return int(va>>pudShift) & levelMask }
+func pmdIndex(va uint64) int { return int(va>>pmdShift) & levelMask }
+
+// PTEIndex returns the last-level index of va within its PTE table.
+func PTEIndex(va uint64) int { return int(va>>pteShift) & levelMask }
+
+// VPN returns the virtual page number of va.
+func VPN(va uint64) uint64 { return va >> mem.PageShift }
+
+// walk descends the tree to the PTE table covering va, optionally creating
+// missing directories. Directory creation is guarded by the address-space
+// mapping lock in callers; lock-free readers are safe because directory
+// pointers are written once before any PTE in them becomes Present.
+func (r *pgd) walk(va uint64, create bool) *PTETable {
+	pu := r.puds[pgdIndex(va)]
+	if pu == nil {
+		if !create {
+			return nil
+		}
+		pu = &pud{}
+		r.puds[pgdIndex(va)] = pu
+	}
+	pm := pu.pmds[pudIndex(va)]
+	if pm == nil {
+		if !create {
+			return nil
+		}
+		pm = &pmd{}
+		pu.pmds[pudIndex(va)] = pm
+	}
+	pt := pm.tables[pmdIndex(va)]
+	if pt == nil {
+		if !create {
+			return nil
+		}
+		pt = &PTETable{}
+		pm.tables[pmdIndex(va)] = pt
+	}
+	return pt
+}
+
+// PMDCache caches the PTE table resolved by the most recent walk, keyed by
+// the 2 MiB-aligned prefix of the virtual address. Reusing it lets a bulk
+// page operation skip the PGD/PUD/PMD levels for same-span neighbours —
+// the paper's Fig. 7 optimisation. A PMDCache belongs to a single kernel
+// invocation; it must not outlive mapping changes.
+type PMDCache struct {
+	tag   uint64
+	table *PTETable
+	valid bool
+}
+
+// Lookup returns the cached table for va if it covers va's 2 MiB span.
+func (c *PMDCache) Lookup(va uint64) (*PTETable, bool) {
+	if c.valid && va/PMDSpan == c.tag {
+		return c.table, true
+	}
+	return nil, false
+}
+
+// Store remembers the table covering va.
+func (c *PMDCache) Store(va uint64, t *PTETable) {
+	c.tag = va / PMDSpan
+	c.table = t
+	c.valid = true
+}
+
+// Invalidate forgets the cached entry.
+func (c *PMDCache) Invalidate() { c.valid = false }
+
+func badVA(op string, va uint64) error {
+	return fmt.Errorf("mmu: %s: unmapped virtual address %#x", op, va)
+}

@@ -1,0 +1,97 @@
+package mmu
+
+import (
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// TLB is a direct-mapped translation lookaside buffer for one simulated
+// core. It caches VPN→frame translations per address-space ID. A TLB is
+// mutated both by the core that owns it (fills, local flushes) and by
+// shootdowns from other cores, which may run on other goroutines when
+// several JVMs are driven concurrently — so entries are guarded by a
+// mutex (the analogue of the hardware's coherent invalidation).
+type TLB struct {
+	mu      sync.Mutex
+	entries []tlbEntry
+	mask    uint64
+}
+
+type tlbEntry struct {
+	key   uint64 // VPN<<16 | ASID; 0 is never a valid key (see Insert)
+	frame mem.FrameID
+	valid bool
+}
+
+// DefaultTLBEntries matches a typical unified second-level data TLB.
+const DefaultTLBEntries = 1536
+
+// NewTLB builds a TLB with the given number of entries, rounded up to a
+// power of two.
+func NewTLB(entries int) *TLB {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &TLB{entries: make([]tlbEntry, n), mask: uint64(n - 1)}
+}
+
+func tlbKey(asid uint32, vpn uint64) uint64 { return vpn<<16 | uint64(asid&0xffff) }
+
+// Lookup returns the cached frame for (asid, vpn).
+func (t *TLB) Lookup(asid uint32, vpn uint64) (mem.FrameID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := &t.entries[vpn&t.mask]
+	if e.valid && e.key == tlbKey(asid, vpn) {
+		return e.frame, true
+	}
+	return mem.NilFrame, false
+}
+
+// Insert caches a translation, evicting whatever shared its slot.
+func (t *TLB) Insert(asid uint32, vpn uint64, frame mem.FrameID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := &t.entries[vpn&t.mask]
+	e.key = tlbKey(asid, vpn)
+	e.frame = frame
+	e.valid = true
+}
+
+// FlushASID invalidates every entry belonging to asid (the per-process
+// flush issued by flush_tlb_local / shootdown handlers).
+func (t *TLB) FlushASID(asid uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	want := uint64(asid & 0xffff)
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key&0xffff == want {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// FlushPage invalidates the single translation for (asid, vpn), the
+// invlpg-style flush used by the overlap-swap inner loop.
+func (t *TLB) FlushPage(asid uint32, vpn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := &t.entries[vpn&t.mask]
+	if e.valid && e.key == tlbKey(asid, vpn) {
+		e.valid = false
+	}
+}
+
+// FlushAll invalidates everything.
+func (t *TLB) FlushAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Size returns the entry count.
+func (t *TLB) Size() int { return len(t.entries) }

@@ -1,0 +1,84 @@
+package sim
+
+import "fmt"
+
+// Perf collects perf(1)-style event counters for one simulated thread or
+// one aggregated run. Counters are plain integers (no atomics) because each
+// simulated thread owns its Perf; use Add to aggregate across threads.
+type Perf struct {
+	// Memory hierarchy.
+	CacheRefs   uint64 // LLC references (one per cache line touched)
+	CacheMisses uint64 // LLC misses
+	BytesRead   uint64
+	BytesWrite  uint64
+
+	// Address translation.
+	TLBLookups  uint64
+	TLBMisses   uint64 // lookups that required a page-table walk
+	PTWalks     uint64 // full walks performed
+	PTLevelHits uint64 // walk levels skipped thanks to the PMD cache
+
+	// TLB coherence.
+	TLBFlushLocal uint64 // whole-ASID local flushes
+	TLBFlushPage  uint64 // single-page local invalidations
+	IPIsSent      uint64 // per-target shootdown interrupts issued
+	Shootdowns    uint64 // broadcast operations initiated
+
+	// Kernel interface.
+	Syscalls     uint64
+	SwapVACalls  uint64
+	PagesSwapped uint64
+	PMDSwaps     uint64 // 2 MiB huge-swap operations (512 pages each)
+	MemmoveCalls uint64
+	BytesCopied  uint64 // bytes physically moved by Memmove
+}
+
+// Add accumulates other into p.
+func (p *Perf) Add(other *Perf) {
+	p.CacheRefs += other.CacheRefs
+	p.CacheMisses += other.CacheMisses
+	p.BytesRead += other.BytesRead
+	p.BytesWrite += other.BytesWrite
+	p.TLBLookups += other.TLBLookups
+	p.TLBMisses += other.TLBMisses
+	p.PTWalks += other.PTWalks
+	p.PTLevelHits += other.PTLevelHits
+	p.TLBFlushLocal += other.TLBFlushLocal
+	p.TLBFlushPage += other.TLBFlushPage
+	p.IPIsSent += other.IPIsSent
+	p.Shootdowns += other.Shootdowns
+	p.Syscalls += other.Syscalls
+	p.SwapVACalls += other.SwapVACalls
+	p.PagesSwapped += other.PagesSwapped
+	p.PMDSwaps += other.PMDSwaps
+	p.MemmoveCalls += other.MemmoveCalls
+	p.BytesCopied += other.BytesCopied
+}
+
+// Reset zeroes all counters.
+func (p *Perf) Reset() { *p = Perf{} }
+
+// CacheMissPct returns the LLC miss ratio as a percentage, the statistic
+// reported in the paper's Table III. It returns 0 when nothing was sampled.
+func (p *Perf) CacheMissPct() float64 {
+	if p.CacheRefs == 0 {
+		return 0
+	}
+	return 100 * float64(p.CacheMisses) / float64(p.CacheRefs)
+}
+
+// DTLBMissPct returns the data-TLB miss ratio as a percentage.
+func (p *Perf) DTLBMissPct() float64 {
+	if p.TLBLookups == 0 {
+		return 0
+	}
+	return 100 * float64(p.TLBMisses) / float64(p.TLBLookups)
+}
+
+// String summarises the most important counters on one line.
+func (p *Perf) String() string {
+	return fmt.Sprintf(
+		"cache %.2f%% miss (%d refs), dtlb %.2f%% miss (%d lookups), swapva %d calls/%d pages, memmove %d calls/%d B, ipis %d",
+		p.CacheMissPct(), p.CacheRefs, p.DTLBMissPct(), p.TLBLookups,
+		p.SwapVACalls, p.PagesSwapped, p.MemmoveCalls, p.BytesCopied, p.IPIsSent)
+}

@@ -1,0 +1,108 @@
+// Package sim provides the foundation of the simulated machine: simulated
+// time, per-thread clocks, the hardware cost model, and perf-style event
+// counters. Every other subsystem (MMU, caches, kernel, collectors) charges
+// its work against a sim.Clock using parameters from a sim.CostModel, so all
+// reported results are deterministic simulated durations rather than
+// wall-clock measurements.
+package sim
+
+import "fmt"
+
+// Time is a simulated duration or instant, in nanoseconds. It is a float64
+// because individual charged operations can cost fractions of a nanosecond
+// (for example one word of a bandwidth-limited copy).
+type Time float64
+
+// Common simulated durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// Seconds returns the duration in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns the duration in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// Microseconds returns the duration in microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Nanoseconds returns the duration in nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) }
+
+// String formats the duration with an adaptive unit, e.g. "1.234ms".
+func (t Time) String() string {
+	switch abs := t.abs(); {
+	case abs >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case abs >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case abs >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%.1fns", float64(t))
+	}
+}
+
+func (t Time) abs() Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Clock accumulates simulated time for one logical thread of execution
+// (a mutator thread, a GC worker, or a microbenchmark driver). A Clock is
+// not safe for concurrent use; each simulated thread owns its own.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at the given instant.
+func NewClock(start Time) *Clock { return &Clock{now: start} }
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are a programming
+// error and panic, because simulated time never runs backwards.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to instant t if t is later than now.
+// It is used to synchronise a thread with a barrier or a GC pause.
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only tests and experiment drivers that
+// reuse a context between runs should call it.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Since returns the elapsed simulated time since mark.
+func (c *Clock) Since(mark Time) Time { return c.now - mark }

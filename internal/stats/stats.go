@@ -1,0 +1,79 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses to summarise series: geometric means, ratios and percentage
+// formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive values
+// (which have no geometric mean); it returns 0 for an empty effective set.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min and Max return the extrema (0 for empty).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct formats a fraction as a percentage string, e.g. 0.709 -> "70.9%".
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", 100*frac) }
+
+// X formats a ratio as a multiplier string, e.g. 3.82 -> "3.82x".
+func X(ratio float64) string { return fmt.Sprintf("%.2fx", ratio) }

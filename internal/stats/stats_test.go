@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if !almost(Geomean([]float64{2, 8}), 4) {
+		t.Error("geomean(2,8) != 4")
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean != 0")
+	}
+	// Non-positive values are ignored.
+	if !almost(Geomean([]float64{0, -3, 4}), 4) {
+		t.Error("geomean should skip non-positive values")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 {
+		t.Error("mean/min/max wrong")
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty stats not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if Pct(0.709) != "70.9%" {
+		t.Errorf("Pct = %q", Pct(0.709))
+	}
+	if X(3.825) != "3.83x" {
+		t.Errorf("X = %q", X(3.825))
+	}
+}
+
+// Property: geomean lies between min and max of a positive series.
+func TestGeomeanBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package workloads
+
+// Class IDs tag heap objects by their workload role; they survive GC and
+// let validation code recognise what it is looking at.
+const (
+	clsFFT uint16 = iota + 1
+	clsSparseBlock
+	clsSparseVec
+	clsSORRow
+	clsLUBlock
+	clsCompressIn
+	clsCompressOut
+	clsSigMessage
+	clsSigSignature
+	clsAESBlob
+	clsPRRanks
+	clsPREdges
+	clsBisortNode
+	clsSortSegment
+	clsLRUValue
+)

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/heap"
+	"repro/internal/jvm"
+)
+
+// CryptoAES is the SPECjvm2008 crypto.aes benchmark: AES-CTR encryption
+// and decryption of large buffers. It is the paper's most compute-bound
+// workload — cycles per byte dominate memory traffic — which is why its
+// application-level gain from SVAGC is the smallest (15.2% in Fig. 15).
+func CryptoAES() *Spec {
+	const (
+		threads   = 4
+		blobBytes = 128 << 10
+		iters     = 16
+	)
+	// Only the final ciphertext stays live per thread; the running
+	// thread holds a plaintext+ciphertext transient.
+	liveBytes := int64(threads)*footprint(heap.AllocSpec{Payload: blobBytes}) +
+		2*footprint(heap.AllocSpec{Payload: blobBytes})
+	return &Spec{
+		Name:         "CryptoAES",
+		Suite:        "SPECjvm2008",
+		PaperThreads: 96,
+		PaperHeap:    "5.2 - 8.67 GiB",
+		Threads:      threads,
+		MinHeapBytes: liveBytes*5/4 + 1<<20,
+		Run: func(j *jvm.JVM, seed int64) error {
+			return seededThreads(j, seed, func(t *jvm.Thread, rng *rand.Rand) error {
+				return aesThread(t, rng, blobBytes, iters)
+			})
+		},
+	}
+}
+
+func aesThread(t *jvm.Thread, rng *rand.Rand, blobBytes, iters int) error {
+	spec := heap.AllocSpec{Payload: blobBytes, Class: clsAESBlob}
+	key := make([]byte, 32)
+	iv := make([]byte, aes.BlockSize)
+	rng.Read(key)
+	rng.Read(iv)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return err
+	}
+
+	plain := make([]byte, blobBytes)
+	work := make([]byte, blobBytes)
+	// AES with hardware support runs around 1.5 cycles/byte in the JVM.
+	const cyclesPerByte = 1.5
+
+	for it := 0; it < iters; it++ {
+		inR, err := t.AllocRooted(spec)
+		if err != nil {
+			return err
+		}
+		rng.Read(plain)
+		if err := t.J.Heap.WritePayload(t.Ctx, inR.Obj, 0, 0, plain); err != nil {
+			return err
+		}
+
+		// Encrypt heap->heap.
+		if err := t.J.Heap.ReadPayload(t.Ctx, inR.Obj, 0, 0, work); err != nil {
+			return err
+		}
+		cipher.NewCTR(block, iv).XORKeyStream(work, work)
+		chargeOps(t, float64(blobBytes), cyclesPerByte)
+		encR, err := t.AllocRooted(spec)
+		if err != nil {
+			return err
+		}
+		if err := t.J.Heap.WritePayload(t.Ctx, encR.Obj, 0, 0, work); err != nil {
+			return err
+		}
+		t.J.Roots.Remove(inR)
+
+		// Decrypt and check the round trip (CTR is an involution).
+		if err := t.J.Heap.ReadPayload(t.Ctx, encR.Obj, 0, 0, work); err != nil {
+			return err
+		}
+		cipher.NewCTR(block, iv).XORKeyStream(work, work)
+		chargeOps(t, float64(blobBytes), cyclesPerByte)
+		if !bytes.Equal(work, plain) {
+			return fmt.Errorf("aes: round trip mismatch on iteration %d", it)
+		}
+		// Keep the final ciphertext rooted (live-set convention, fft.go).
+		if it < iters-1 {
+			t.J.Roots.Remove(encR)
+		}
+	}
+	return nil
+}
