@@ -13,22 +13,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (fig1..fig16, table1..table3) or 'all'")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		quick   = flag.Bool("quick", false, "reduced sweeps and benchmark subset")
-		machine = flag.String("machine", "", "cost model override (gold6130, gold6240, i5-7600)")
-		workers = flag.Int("gcworkers", 4, "GC threads per JVM")
-		seed    = flag.Int64("seed", 42, "workload seed")
+		exp      = flag.String("exp", "", "experiment ID (fig1..fig16, table1..table3) or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "reduced sweeps and benchmark subset")
+		mach     = flag.String("machine", "", "cost model override (gold6130, gold6240, i5-7600)")
+		workers  = flag.Int("gcworkers", 4, "GC threads per JVM")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		traceOut = flag.String("trace", "", "write a combined Chrome trace_event JSON of every workload machine (disables run memoisation)")
+		metrics  = flag.String("metrics", "", "write a combined Prometheus text-format metrics snapshot (disables run memoisation)")
 	)
 	flag.Parse()
 
@@ -44,8 +49,14 @@ func main() {
 	}
 
 	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed}
-	if *machine != "" {
-		cost, err := sim.ModelByName(*machine)
+	var tracers []*trace.Tracer
+	if *traceOut != "" || *metrics != "" {
+		opt.OnMachine = func(m *machine.Machine) {
+			tracers = append(tracers, m.EnableTracing(0))
+		}
+	}
+	if *mach != "" {
+		cost, err := sim.ModelByName(*mach)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gcbench:", err)
 			os.Exit(2)
@@ -77,4 +88,30 @@ func main() {
 		fmt.Print(res.Format())
 		fmt.Printf("(%s regenerated in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
 	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, trace.ChromeTraceOf(tracers...).Write); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		if err := writeFile(*metrics, trace.SnapshotOf(tracers...).WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench: metrics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFile streams write into path, closing cleanly on error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gc"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -39,6 +41,8 @@ func main() {
 		pauses    = flag.Bool("pauses", false, "print every pause record")
 		gclog     = flag.Bool("gclog", false, "stream -Xlog:gc style lines to stderr as pauses happen")
 		histo     = flag.Bool("histo", false, "print a class histogram of the final heap (jmap -histo style)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (load in chrome://tracing or Perfetto)")
+		metrics   = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot of the run")
 	)
 	flag.Parse()
 
@@ -70,6 +74,10 @@ func main() {
 	}
 	if *jvms > 1 {
 		m.Bus().SetActiveJVMs(*jvms)
+	}
+	var tr *trace.Tracer
+	if *traceOut != "" || *metrics != "" {
+		tr = m.EnableTracing(0)
 	}
 
 	heapBytes := spec.MinHeap(*factor)
@@ -140,4 +148,29 @@ func main() {
 		fmt.Println("live-heap class histogram:")
 		fmt.Print(heap.FormatHistogram(stats))
 	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, tr.WriteChromeJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		if err := writeFile(*metrics, trace.SnapshotOf(tr).WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: metrics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFile streams write into path, closing cleanly on error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

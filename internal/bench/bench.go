@@ -30,6 +30,12 @@ type Options struct {
 	Quick bool
 	// Seed feeds the workloads (default 42).
 	Seed int64
+	// OnMachine, when set, is invoked on every workload machine right
+	// after construction — the hook the CLI uses to enable tracing
+	// (machine.EnableTracing) and collect the tracers. Runs with the hook
+	// set bypass the memoisation cache, because the hook's side effects
+	// are not part of the cache key and a cache hit would skip them.
+	OnMachine func(*machine.Machine)
 }
 
 func (o Options) cost() *sim.CostModel {
@@ -195,12 +201,14 @@ func ResetCache() {
 // a heap factor, with jvms-1 modelled co-running JVMs.
 func runWorkload(opt Options, collector, bench string, factor float64, jvms int) (*runResult, error) {
 	key := cacheKey(opt, collector, bench, factor, jvms)
-	cacheMu.Lock()
-	if r, ok := runCache[key]; ok {
+	if opt.OnMachine == nil {
+		cacheMu.Lock()
+		if r, ok := runCache[key]; ok {
+			cacheMu.Unlock()
+			return r, nil
+		}
 		cacheMu.Unlock()
-		return r, nil
 	}
-	cacheMu.Unlock()
 
 	spec, err := workloads.ByName(bench)
 	if err != nil {
@@ -209,6 +217,9 @@ func runWorkload(opt Options, collector, bench string, factor float64, jvms int)
 	m, err := machine.New(machine.Config{Cost: opt.cost()})
 	if err != nil {
 		return nil, err
+	}
+	if opt.OnMachine != nil {
+		opt.OnMachine(m)
 	}
 	if jvms > 1 {
 		m.Bus().SetActiveJVMs(jvms)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config tunes the collector.
@@ -116,6 +117,26 @@ func (c *Collector) Stats() *gc.Stats { return &c.stats }
 // Config returns the active configuration.
 func (c *Collector) Config() Config { return c.cfg }
 
+// endPhase closes one LISP2 phase: it records each worker's busy span
+// (start → the worker's own clock, captured before the barrier equalises
+// the clocks), runs the phase barrier, and records the phase event with
+// the makespan duration on the driving context. It returns the
+// post-barrier instant, exactly like pool.BarrierSync.
+func (c *Collector) endPhase(ctx *machine.Context, pool *gc.Pool,
+	name string, start sim.Time) sim.Time {
+
+	if ctx.Trace != nil {
+		for i, w := range pool.Workers {
+			w.Trace.Emit(trace.KindSpan, name, start, w.Clock.Now()-start,
+				uint64(i), 0)
+		}
+	}
+	end := pool.BarrierSync(c.cfg.barrier())
+	ctx.Trace.Emit(trace.KindPhase, name, start, end-start,
+		uint64(pool.Size()), 0)
+	return end
+}
+
 // Collect implements gc.Collector: a full collection of the entire heap.
 func (c *Collector) Collect(ctx *machine.Context, cause gc.Cause) (*gc.PauseInfo, error) {
 	return c.CollectRange(ctx, cause, c.H.Start(), gc.KindFull, nil)
@@ -148,23 +169,23 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 	if err != nil {
 		return nil, fmt.Errorf("lisp2: mark: %w", err)
 	}
-	t1 := pool.BarrierSync(c.cfg.barrier())
+	t1 := c.endPhase(ctx, pool, "mark", t0)
 
 	newTop, swapMoves, err := c.forwardPhase(pool, from, oldTop)
 	if err != nil {
 		return nil, fmt.Errorf("lisp2: forward: %w", err)
 	}
-	t2 := pool.BarrierSync(c.cfg.barrier())
+	t2 := c.endPhase(ctx, pool, "forward", t1)
 
 	if err := c.adjustPhase(pool, from, oldTop, holders); err != nil {
 		return nil, fmt.Errorf("lisp2: adjust: %w", err)
 	}
-	t3 := pool.BarrierSync(c.cfg.barrier())
+	t3 := c.endPhase(ctx, pool, "adjust", t2)
 
 	if err := c.compactPhase(pool, from, oldTop, swapMoves); err != nil {
 		return nil, fmt.Errorf("lisp2: compact: %w", err)
 	}
-	t4 := pool.BarrierSync(c.cfg.barrier())
+	t4 := c.endPhase(ctx, pool, "compact", t3)
 
 	c.H.SetTop(newTop)
 	ctx.Clock.AdvanceTo(t4)

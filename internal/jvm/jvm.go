@@ -20,6 +20,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CollectorFactory builds a collector for a freshly created heap.
@@ -122,7 +123,18 @@ func (j *JVM) Thread(i int) *Thread { return j.threads[i] }
 
 // CollectNow forces a collection (System.gc()).
 func (j *JVM) CollectNow() (*gc.PauseInfo, error) {
-	return j.GC.Collect(j.gcCtx, gc.CauseExplicit)
+	return j.runGC(gc.CauseExplicit)
+}
+
+// runGC runs one collection on the GC context and records the pause as a
+// single trace event bracketing the collector's phase events.
+func (j *JVM) runGC(cause gc.Cause) (*gc.PauseInfo, error) {
+	pause, err := j.GC.Collect(j.gcCtx, cause)
+	if err == nil && j.gcCtx.Trace != nil {
+		j.gcCtx.Trace.Emit(trace.KindSpan, "gc-pause", pause.At, pause.Total,
+			pause.LiveBytes, uint64(pause.SwappedPages))
+	}
+	return pause, err
 }
 
 // Alloc allocates on behalf of the thread, collecting and retrying on
@@ -141,7 +153,7 @@ func (t *Thread) Alloc(spec heap.AllocSpec) (heap.Object, error) {
 			}
 			return 0, err
 		}
-		if _, gcErr := t.J.GC.Collect(t.J.gcCtx, gc.CauseAllocFailure); gcErr != nil {
+		if _, gcErr := t.J.runGC(gc.CauseAllocFailure); gcErr != nil {
 			return 0, gcErr
 		}
 	}

@@ -258,25 +258,143 @@ func TestAggregationSavesSyscalls(t *testing.T) {
 	}
 }
 
-func TestSwapVAVecStopsAtFirstError(t *testing.T) {
+func TestSwapVAVecRejectsInvalidVectorUpFront(t *testing.T) {
+	// The whole vector is validated before anything is charged or applied:
+	// one bad argument rejects the call for free, exactly like SwapVA.
 	f := newFixture(t)
 	a, _ := f.as.MapRegion(1)
 	b, _ := f.as.MapRegion(1)
 	f.as.RawWrite(a, []byte{7})
 	f.as.RawWrite(b, []byte{9})
 	reqs := []SwapReq{
-		{VA1: a, VA2: b, Pages: 1},
+		{VA1: a, VA2: b, Pages: 1},     // valid, but must NOT run
 		{VA1: a + 1, VA2: b, Pages: 1}, // misaligned
-		{VA1: b, VA2: a, Pages: 1},     // must not run
 	}
+	before := f.ctx.Clock.Now()
 	err := f.k.SwapVAVec(f.ctx, f.as, reqs, DefaultOptions())
 	if !errors.Is(err, ErrMisaligned) {
 		t.Fatalf("err = %v", err)
 	}
 	got := make([]byte, 1)
 	f.as.RawRead(a, got)
+	if got[0] != 7 {
+		t.Errorf("request applied despite invalid vector: a=%d", got[0])
+	}
+	if f.ctx.Perf.Syscalls != 0 || f.ctx.Perf.SwapVACalls != 0 {
+		t.Errorf("rejected vector was charged: syscalls=%d swapvacalls=%d",
+			f.ctx.Perf.Syscalls, f.ctx.Perf.SwapVACalls)
+	}
+	if f.ctx.Clock.Now() != before {
+		t.Errorf("rejected vector advanced the clock by %v", f.ctx.Clock.Now()-before)
+	}
+}
+
+func TestSwapVAVecAccountsLikeSwapVA(t *testing.T) {
+	// SwapVA and SwapVAVec must account identically: a request SwapVA
+	// rejects for free is also free through the vector entry point, and a
+	// single valid request charges the same counters either way.
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(2)
+	b, _ := f.as.MapRegion(2)
+
+	// Invalid: both entry points reject without charging.
+	c1, c2 := f.m.NewContext(0), f.m.NewContext(0)
+	e1 := f.k.SwapVA(c1, f.as, a+1, b, 1, DefaultOptions())
+	e2 := f.k.SwapVAVec(c2, f.as, []SwapReq{{VA1: a + 1, VA2: b, Pages: 1}}, DefaultOptions())
+	if !errors.Is(e1, ErrMisaligned) || !errors.Is(e2, ErrMisaligned) {
+		t.Fatalf("errs = %v, %v", e1, e2)
+	}
+	if *c1.Perf != *c2.Perf {
+		t.Errorf("rejected request charged differently:\n SwapVA    %+v\n SwapVAVec %+v", *c1.Perf, *c2.Perf)
+	}
+	if c1.Clock.Now() != c2.Clock.Now() {
+		t.Errorf("rejected request cost differs: %v vs %v", c1.Clock.Now(), c2.Clock.Now())
+	}
+
+	// Valid single request: identical counters and identical cost.
+	c3, c4 := f.m.NewContext(0), f.m.NewContext(0)
+	if err := f.k.SwapVA(c3, f.as, a, b, 2, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.k.SwapVAVec(c4, f.as, []SwapReq{{VA1: a, VA2: b, Pages: 2}}, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if *c3.Perf != *c4.Perf {
+		t.Errorf("single request charged differently:\n SwapVA    %+v\n SwapVAVec %+v", *c3.Perf, *c4.Perf)
+	}
+	if c3.Clock.Now() != c4.Clock.Now() {
+		t.Errorf("single request cost differs: %v vs %v", c3.Clock.Now(), c4.Clock.Now())
+	}
+}
+
+func TestSwapVAVecNoopSkipsFlush(t *testing.T) {
+	// A vector that changes no mapping (empty, or all VA1==VA2 no-ops) must
+	// not broadcast a shootdown: there is nothing to make coherent.
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(1)
+	for _, reqs := range [][]SwapReq{
+		nil,
+		{},
+		{{VA1: a, VA2: a, Pages: 1}},
+		{{VA1: a, VA2: a, Pages: 1}, {VA1: a, VA2: a, Pages: 1}},
+	} {
+		c := f.m.NewContext(0)
+		if err := f.k.SwapVAVec(c, f.as, reqs, DefaultOptions()); err != nil {
+			t.Fatalf("reqs %v: %v", reqs, err)
+		}
+		if c.Perf.Shootdowns != 0 || c.Perf.IPIsSent != 0 {
+			t.Errorf("no-op vector %v flushed: shootdowns=%d ipis=%d",
+				reqs, c.Perf.Shootdowns, c.Perf.IPIsSent)
+		}
+		if c.Perf.Syscalls != 1 {
+			t.Errorf("no-op vector %v: syscalls=%d, want 1 (entry is still paid)",
+				reqs, c.Perf.Syscalls)
+		}
+	}
+	// Sanity: a vector that does apply still flushes exactly once.
+	b, _ := f.as.MapRegion(1)
+	c := f.m.NewContext(0)
+	if err := f.k.SwapVAVec(c, f.as,
+		[]SwapReq{{VA1: a, VA2: a, Pages: 1}, {VA1: a, VA2: b, Pages: 1}},
+		DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Perf.Shootdowns != 1 {
+		t.Errorf("applied vector: shootdowns=%d, want 1", c.Perf.Shootdowns)
+	}
+}
+
+func TestSwapVAVecStopsAtFirstApplyError(t *testing.T) {
+	// A failure discovered during application (unmapped page — not
+	// detectable up front without paying the walks) stops the vector:
+	// earlier requests stay applied, later ones never run, and the flush
+	// still happens so TLBs stay coherent with what was applied.
+	f := newFixture(t)
+	a, _ := f.as.MapRegion(1)
+	b, _ := f.as.MapRegion(1)
+	hole, _ := f.as.MapRegion(1)
+	d, _ := f.as.MapRegion(1)
+	f.as.RawWrite(a, []byte{7})
+	f.as.RawWrite(b, []byte{9})
+	f.as.RawWrite(d, []byte{4})
+	f.as.Unmap(hole, 1, true) // aligned and in-range, but not mapped
+	reqs := []SwapReq{
+		{VA1: a, VA2: b, Pages: 1},    // applies
+		{VA1: hole, VA2: d, Pages: 1}, // fails mid-application
+		{VA1: b, VA2: a, Pages: 1},    // must not run
+	}
+	c := f.m.NewContext(0)
+	err := f.k.SwapVAVec(c, f.as, reqs, DefaultOptions())
+	if !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("err = %v", err)
+	}
+	got := make([]byte, 1)
+	f.as.RawRead(a, got)
 	if got[0] != 9 {
 		t.Errorf("first request rolled back or third executed: a=%d", got[0])
+	}
+	if c.Perf.Shootdowns != 1 {
+		t.Errorf("partial vector must still flush: shootdowns=%d", c.Perf.Shootdowns)
 	}
 }
 

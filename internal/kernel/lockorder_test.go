@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestConcurrentHugeSwapAndPageSwap is the regression test for the
+// swapPTEs lock-ordering defect. swapPTEs once ordered its two table
+// locks by virtual address; SwapPMDEntries reparents whole PTE tables
+// between PMD slots, so the VA→table mapping is not stable. Two page
+// swappers that resolve their tables on opposite sides of a concurrent
+// huge swap then acquire the same pair of tables in opposite (ABBA)
+// order and deadlock. With locks ordered by the tables' allocation IDs
+// the schedule below always completes; under the VA order it hangs
+// (caught by the test timeout) once the interleaving strikes.
+//
+// Run with -race: it also checks that the lock-free PMD-slot reads in
+// the walkers are properly synchronised against the slot exchange.
+func TestConcurrentHugeSwapAndPageSwap(t *testing.T) {
+	const iters = 300
+	f := newFixture(t)
+	a := alignedRegion(t, f, hugePages)
+	b := alignedRegion(t, f, hugePages)
+
+	opts := DefaultOptions()
+	opts.Flush = FlushNone // isolate page-table locking from TLB coherence
+	huge := opts
+	huge.HugeSwap = true
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	worker := func(id int, body func(i int) error) {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := body(i); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}
+	wg.Add(3)
+	// Huge swapper: keeps exchanging the two spans' PTE tables, so page
+	// swappers that resolved tables before an exchange lock them after it.
+	hctx := f.m.NewContext(0)
+	go worker(0, func(int) error {
+		return f.k.SwapVA(hctx, f.as, a, b, hugePages, huge)
+	})
+	// Two page swappers over the same pair of spans, opposite directions,
+	// several pages per call so each call holds locks repeatedly.
+	c1 := f.m.NewContext(1 % f.m.NumCores())
+	go worker(1, func(i int) error {
+		off := uint64(i%64) << mem.PageShift
+		return f.k.SwapVA(c1, f.as, a+off, b+off, 4, opts)
+	})
+	c2 := f.m.NewContext(2 % f.m.NumCores())
+	go worker(2, func(i int) error {
+		off := uint64(i%64+64) << mem.PageShift
+		return f.k.SwapVA(c2, f.as, b+off, a+off, 4, opts)
+	})
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -6,12 +6,18 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/trace"
 )
 
 // SwapVA exchanges the physical frames backing two equally sized virtual
 // ranges by swapping their PTEs — the paper's Algorithm 1. After the call,
 // loads through either range observe the other range's former contents,
 // with zero bytes copied. The TLB-coherence policy is selected by opts.
+//
+// Invalid arguments are rejected before any cost is charged. A failure
+// discovered mid-swap (an unmapped page) aborts after some PTEs may
+// already have been exchanged; the trailing flush still runs so the TLBs
+// stay coherent with whatever was applied.
 //
 // When the two ranges overlap and opts.Overlap is set, the call dispatches
 // to the cycle-chasing Algorithm 2 (see SwapOverlap); otherwise overlapping
@@ -24,22 +30,21 @@ func (k *Kernel) SwapVA(ctx *machine.Context, as *mmu.AddressSpace,
 	if err := checkArgs(va1, va2, pages); err != nil {
 		return err
 	}
+	start := ctx.Clock.Now()
 	ctx.Clock.Advance(ctx.Cost.SyscallNs)
 	ctx.Perf.Syscalls++
 	ctx.Perf.SwapVACalls++
-	if va1 == va2 {
-		return nil // swapping a range with itself is a no-op
-	}
-	if opts.Overlap && rangesOverlap(va1, va2, pages) {
-		if err := k.swapOverlapBody(ctx, as, va1, va2, pages, opts); err != nil {
-			return err
+	var err error
+	if va1 != va2 { // swapping a range with itself is a no-op
+		err = k.applySwap(ctx, as, va1, va2, pages, opts)
+		if err == nil {
+			ctx.Perf.PagesSwapped += uint64(pages)
 		}
-	} else if err := k.swapBody(ctx, as, va1, va2, pages, opts); err != nil {
-		return err
+		k.flush(ctx, as, opts.Flush)
 	}
-	ctx.Perf.PagesSwapped += uint64(pages)
-	k.flush(ctx, as, opts.Flush)
-	return nil
+	ctx.Trace.Emit(trace.KindSyscall, "SwapVA", start, ctx.Clock.Now()-start,
+		uint64(pages), 0)
+	return err
 }
 
 // SwapReq is one element of an aggregated SwapVA invocation.
@@ -50,35 +55,67 @@ type SwapReq struct {
 
 // SwapVAVec performs many swaps under a single system-call entry and a
 // single trailing TLB flush — the aggregation optimisation of Fig. 5(b).
-// Requests are applied in order; an invalid request aborts the call after
-// the preceding requests have taken effect (the flush still runs so the
-// TLBs stay coherent with whatever was applied).
+// The whole vector is validated before anything is charged or applied, so
+// a request that SwapVA would reject for free is also free here (the two
+// entry points account identically). Valid requests are applied in order;
+// a failure discovered mid-application (an unmapped page) aborts the call
+// after the preceding requests have taken effect, with the flush still
+// run so the TLBs stay coherent with whatever was applied. When no
+// request changes any mapping (an empty vector, or only VA1 == VA2
+// no-ops), the trailing flush is skipped entirely: nothing was remapped,
+// so broadcasting a shootdown would charge every core for nothing.
 func (k *Kernel) SwapVAVec(ctx *machine.Context, as *mmu.AddressSpace,
 	reqs []SwapReq, opts Options) error {
 
+	for _, r := range reqs {
+		if err := checkArgs(r.VA1, r.VA2, r.Pages); err != nil {
+			return err
+		}
+	}
+	start := ctx.Clock.Now()
 	ctx.Clock.Advance(ctx.Cost.SyscallNs)
 	ctx.Perf.Syscalls++
 	ctx.Perf.SwapVACalls++
+	applied := false
 	var firstErr error
 	for _, r := range reqs {
-		if firstErr = checkArgs(r.VA1, r.VA2, r.Pages); firstErr != nil {
-			break
-		}
 		if r.VA1 == r.VA2 {
 			continue
 		}
-		if opts.Overlap && rangesOverlap(r.VA1, r.VA2, r.Pages) {
-			firstErr = k.swapOverlapBody(ctx, as, r.VA1, r.VA2, r.Pages, opts)
-		} else {
-			firstErr = k.swapBody(ctx, as, r.VA1, r.VA2, r.Pages, opts)
-		}
-		if firstErr != nil {
+		// Even a failed body may have exchanged PTEs before erroring, so
+		// it counts as applied for flush purposes.
+		applied = true
+		if firstErr = k.applySwap(ctx, as, r.VA1, r.VA2, r.Pages, opts); firstErr != nil {
 			break
 		}
 		ctx.Perf.PagesSwapped += uint64(r.Pages)
 	}
-	k.flush(ctx, as, opts.Flush)
+	if applied {
+		k.flush(ctx, as, opts.Flush)
+	}
+	ctx.Trace.Emit(trace.KindSyscall, "SwapVAVec", start,
+		ctx.Clock.Now()-start, uint64(len(reqs)), 0)
 	return firstErr
+}
+
+// applySwap dispatches one validated, non-degenerate request to the
+// overlap-aware or pairwise body and records the request-level event the
+// swap-size histogram is built from.
+func (k *Kernel) applySwap(ctx *machine.Context, as *mmu.AddressSpace,
+	va1, va2 uint64, pages int, opts Options) error {
+
+	start := ctx.Clock.Now()
+	var err error
+	if opts.Overlap && rangesOverlap(va1, va2, pages) {
+		err = k.swapOverlapBody(ctx, as, va1, va2, pages, opts)
+	} else {
+		err = k.swapBody(ctx, as, va1, va2, pages, opts)
+	}
+	if err == nil {
+		ctx.Trace.Emit(trace.KindSwapReq, "swap-req", start,
+			ctx.Clock.Now()-start, uint64(pages), va1)
+	}
+	return err
 }
 
 // swapBody is the PTE-exchange loop of Algorithm 1 (lines 12–18): for each
@@ -98,17 +135,21 @@ func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
 			a%mmu.PMDSpan == 0 && b%mmu.PMDSpan == 0 {
 			// One pointer swap relocates 512 pages: charge two walks to
 			// the PMD level plus the locked exchange.
+			t0 := ctx.Clock.Now()
 			ctx.Clock.Advance(2*3*ctx.Cost.PTWalkLevelNs +
 				2*ctx.Cost.PTELockNs + 2*ctx.Cost.PTEUpdateNs)
 			if err := as.SwapPMDEntries(a, b); err != nil {
 				return err
 			}
 			ctx.Perf.PMDSwaps++
+			ctx.Trace.Emit(trace.KindSwapPMD, "pmd-swap", t0,
+				ctx.Clock.Now()-t0, a, b)
 			pc1.Invalidate() // the cached tables moved
 			pc2.Invalidate()
 			i += hugePages
 			continue
 		}
+		t0 := ctx.Clock.Now()
 		pt1, idx1, err := k.getPTE(ctx, as, a, &pc1, opts.PMDCaching)
 		if err != nil {
 			return err
@@ -120,31 +161,39 @@ func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
 		if err := swapPTEs(ctx, pt1, idx1, pt2, idx2, a, b); err != nil {
 			return err
 		}
+		if ctx.Trace != nil {
+			ctx.Trace.Emit(trace.KindSwapPage, "pte-swap", t0,
+				ctx.Clock.Now()-t0, a, b)
+		}
 		i++
 	}
 	return nil
 }
 
-// swapPTEs exchanges two present PTEs under their table locks, acquiring
-// distinct tables in a global order (by table identity via their spans) so
-// concurrent callers cannot deadlock.
+// swapPTEs exchanges two present PTEs under their table locks. Distinct
+// tables are acquired in a global order keyed by their allocation IDs —
+// a per-table identity that travels with the table when SwapPMDEntries
+// reparents it. Ordering by virtual address is NOT safe here: after a
+// concurrent huge swap reparents PTE tables, VA order no longer implies a
+// consistent table order, so two swaps could acquire the same pair of
+// tables in opposite (ABBA) order and deadlock.
 func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 	pt2 *mmu.PTETable, idx2 int, va1, va2 uint64) error {
 
 	ctx.Clock.Advance(2 * ctx.Cost.PTELockNs)
+	lockStart := ctx.Clock.Now()
 	if pt1 == pt2 {
 		pt1.Lock()
 		defer pt1.Unlock()
-	} else if va1 < va2 {
-		pt1.Lock()
-		pt2.Lock()
-		defer pt1.Unlock()
-		defer pt2.Unlock()
 	} else {
-		pt2.Lock()
-		pt1.Lock()
-		defer pt1.Unlock()
-		defer pt2.Unlock()
+		first, second := pt1, pt2
+		if first.ID() > second.ID() {
+			first, second = second, first
+		}
+		first.Lock()
+		second.Lock()
+		defer first.Unlock()
+		defer second.Unlock()
 	}
 	e1, e2 := pt1.Entry(idx1), pt2.Entry(idx2)
 	if !e1.Present {
@@ -155,6 +204,10 @@ func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 	}
 	e1.Frame, e2.Frame = e2.Frame, e1.Frame
 	ctx.Clock.Advance(2 * ctx.Cost.PTEUpdateNs)
+	if ctx.Trace != nil {
+		ctx.Trace.Emit(trace.KindPTELock, "pte-lock", lockStart,
+			ctx.Clock.Now()-lockStart, pt1.ID(), pt2.ID())
+	}
 	return nil
 }
 
@@ -181,5 +234,9 @@ func (k *Kernel) Memmove(ctx *machine.Context, as *mmu.AddressSpace,
 	}
 	ctx.Perf.MemmoveCalls++
 	ctx.Perf.BytesCopied += uint64(n)
-	return as.Copy(&ctx.Env, dst, src, n)
+	start := ctx.Clock.Now()
+	err := as.Copy(&ctx.Env, dst, src, n)
+	ctx.Trace.Emit(trace.KindBus, "memmove", start, ctx.Clock.Now()-start,
+		uint64(n), 0)
+	return err
 }

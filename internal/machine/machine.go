@@ -15,6 +15,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Core is one simulated CPU core.
@@ -48,6 +49,9 @@ type Machine struct {
 	// machine stays safe if they are not).
 	shootdownMu sync.Mutex
 	shootdowns  atomic.Uint64 // broadcasts since boot, all ASIDs
+
+	// tracer, when non-nil, hands each new context an event buffer.
+	tracer *trace.Tracer
 }
 
 // New builds a machine from cfg.
@@ -117,6 +121,19 @@ func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
 // Shootdowns reports the number of TLB-shootdown broadcasts since boot.
 func (m *Machine) Shootdowns() uint64 { return m.shootdowns.Load() }
 
+// EnableTracing installs an event tracer on the machine; every context
+// created afterwards records structured events into a per-context ring
+// buffer of the given capacity (<= 0 selects the default). Call it right
+// after New, before any contexts exist, so no execution goes unobserved.
+// It returns the tracer for draining (Chrome JSON, metrics snapshots).
+func (m *Machine) EnableTracing(eventsPerContext int) *trace.Tracer {
+	m.tracer = trace.New(eventsPerContext)
+	return m.tracer
+}
+
+// Tracer returns the installed tracer, or nil when tracing is disabled.
+func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
+
 // Context is the execution context of one simulated thread: its clock and
 // counters, the core it currently runs on, and the charged-memory-access
 // environment derived from them. Contexts are cheap; collectors create one
@@ -126,6 +143,10 @@ type Context struct {
 	M      *Machine
 	Core   *Core
 	Pinned bool
+	// Trace is the context's event buffer; nil when tracing is disabled.
+	// Emission sites either call the nil-safe Emit directly or guard with
+	// ctx.Trace != nil on per-page hot paths.
+	Trace *trace.Buffer
 }
 
 // NewContext creates a thread context running on the given core.
@@ -143,6 +164,9 @@ func (m *Machine) NewContext(coreID int) *Context {
 		Cache:   m.LLC,
 		BW:      m.bus.EffectiveGBs,
 		Latency: m.bus.LatencyFactor,
+	}
+	if m.tracer != nil {
+		ctx.Trace = m.tracer.NewBuffer(coreID)
 	}
 	return ctx
 }
@@ -172,17 +196,23 @@ func (ctx *Context) Unpin() {
 // FlushLocal invalidates the calling core's TLB entries for asid and
 // charges the local flush cost (flush_tlb_local).
 func (ctx *Context) FlushLocal(asid uint32) {
+	start := ctx.Clock.Now()
 	ctx.Core.TLB.FlushASID(asid)
 	ctx.Clock.Advance(ctx.Cost.TLBFlushLocalNs)
 	ctx.Perf.TLBFlushLocal++
+	ctx.Trace.Emit(trace.KindFlushLocal, "tlb-flush-local", start,
+		ctx.Cost.TLBFlushLocalNs, uint64(asid), 0)
 }
 
 // FlushPageLocal invalidates one page translation on the calling core
 // (invlpg) and charges its cost.
 func (ctx *Context) FlushPageLocal(asid uint32, vpn uint64) {
+	start := ctx.Clock.Now()
 	ctx.Core.TLB.FlushPage(asid, vpn)
 	ctx.Clock.Advance(ctx.Cost.TLBFlushPageNs)
 	ctx.Perf.TLBFlushPage++
+	ctx.Trace.Emit(trace.KindFlushPage, "tlb-flush-page", start,
+		ctx.Cost.TLBFlushPageNs, vpn, uint64(asid))
 }
 
 // ShootdownAll performs a full TLB shootdown for asid: it flushes the
@@ -193,6 +223,7 @@ func (ctx *Context) FlushPageLocal(asid uint32, vpn uint64) {
 // per-core acknowledgement costs.
 func (ctx *Context) ShootdownAll(asid uint32) {
 	m := ctx.M
+	start := ctx.Clock.Now()
 	m.shootdownMu.Lock()
 	for _, c := range m.cores {
 		c.TLB.FlushASID(asid)
@@ -203,4 +234,6 @@ func (ctx *Context) ShootdownAll(asid uint32) {
 	ctx.Perf.TLBFlushLocal++
 	ctx.Perf.Shootdowns++
 	ctx.Perf.IPIsSent += uint64(m.NumCores() - 1)
+	ctx.Trace.Emit(trace.KindShootdown, "tlb-shootdown", start,
+		ctx.Clock.Now()-start, uint64(m.NumCores()-1), uint64(asid))
 }

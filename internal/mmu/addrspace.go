@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -145,13 +146,15 @@ func (as *AddressSpace) SwapPMDEntries(va1, va2 uint64) error {
 	if err != nil {
 		return err
 	}
-	*s1, *s2 = *s2, *s1
+	t1, t2 := s1.Load(), s2.Load()
+	s1.Store(t2)
+	s2.Store(t1)
 	return nil
 }
 
-// pmdSlot returns the address of the PMD entry (the *PTETable slot)
-// covering va; callers hold mapMu.
-func (as *AddressSpace) pmdSlot(va uint64) (**PTETable, error) {
+// pmdSlot returns the PMD entry (the atomic *PTETable slot) covering va;
+// callers hold mapMu.
+func (as *AddressSpace) pmdSlot(va uint64) (*atomic.Pointer[PTETable], error) {
 	pu := as.root.puds[pgdIndex(va)]
 	if pu == nil {
 		return nil, badVA("pmdSlot", va)
@@ -161,7 +164,7 @@ func (as *AddressSpace) pmdSlot(va uint64) (**PTETable, error) {
 		return nil, badVA("pmdSlot", va)
 	}
 	slot := &pm.tables[pmdIndex(va)]
-	if *slot == nil {
+	if slot.Load() == nil {
 		return nil, badVA("pmdSlot", va)
 	}
 	return slot, nil

@@ -8,6 +8,7 @@ package mmu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -38,11 +39,26 @@ type PTE struct {
 
 // PTETable is the last level of the tree: 512 PTEs guarded by one lock,
 // mirroring Linux's split page-table locks (pte_offset_map_lock locks the
-// page that holds the PTEs).
+// page that holds the PTEs). Each table carries a unique allocation ID:
+// the stable identity lock-ordering protocols must use, because a table's
+// covering virtual range is NOT stable — SwapPMDEntries reparents whole
+// tables between PMD slots.
 type PTETable struct {
+	id   uint64
 	mu   sync.Mutex
 	ptes [entriesPerLevel]PTE
 }
+
+// tableSeq hands out PTETable allocation IDs, starting at 1.
+var tableSeq atomic.Uint64
+
+// NewPTETable allocates an empty PTE table with a fresh allocation ID.
+func NewPTETable() *PTETable { return &PTETable{id: tableSeq.Add(1)} }
+
+// ID returns the table's allocation ID. IDs are unique per table for the
+// lifetime of the process and travel with the table when SwapPMDEntries
+// moves it, which makes them a deadlock-safe global lock order.
+func (t *PTETable) ID() uint64 { return t.id }
 
 // Lock acquires the table's PTE lock (pte_offset_map_lock).
 func (t *PTETable) Lock() { t.mu.Lock() }
@@ -54,8 +70,13 @@ func (t *PTETable) Unlock() { t.mu.Unlock() }
 // table lock when mutating through it.
 func (t *PTETable) Entry(idx int) *PTE { return &t.ptes[idx] }
 
+// pmd is one page middle directory. Its slots are atomic pointers because
+// SwapPMDEntries exchanges two slots (under the address-space mapping
+// lock) while lock-free walkers may be resolving PTE tables concurrently;
+// each reader then sees either the old or the new table, never a torn
+// pointer.
 type pmd struct {
-	tables [entriesPerLevel]*PTETable
+	tables [entriesPerLevel]atomic.Pointer[PTETable]
 }
 
 type pud struct {
@@ -97,13 +118,13 @@ func (r *pgd) walk(va uint64, create bool) *PTETable {
 		pm = &pmd{}
 		pu.pmds[pudIndex(va)] = pm
 	}
-	pt := pm.tables[pmdIndex(va)]
+	pt := pm.tables[pmdIndex(va)].Load()
 	if pt == nil {
 		if !create {
 			return nil
 		}
-		pt = &PTETable{}
-		pm.tables[pmdIndex(va)] = pt
+		pt = NewPTETable()
+		pm.tables[pmdIndex(va)].Store(pt)
 	}
 	return pt
 }

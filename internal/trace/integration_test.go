@@ -1,0 +1,154 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gc"
+	"repro/internal/gc/svagc"
+	"repro/internal/heap"
+	"repro/internal/jvm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestKernelEventsEndToEnd drives the real kernel under an enabled tracer
+// and checks the event stream a user would see.
+func TestKernelEventsEndToEnd(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	tr := m.EnableTracing(0)
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	ctx := m.NewContext(0)
+
+	a, _ := as.MapRegion(8)
+	b, _ := as.MapRegion(8)
+	if err := k.SwapVA(ctx, as, a, b, 8, kernel.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[trace.Kind]int{}
+	var last sim.Time
+	for _, ev := range tr.Merge() {
+		counts[ev.Kind]++
+		if ev.TS < last {
+			t.Fatalf("merge out of order at %v after %v", ev.TS, last)
+		}
+		last = ev.TS
+	}
+	if counts[trace.KindSyscall] != 1 {
+		t.Errorf("syscall events = %d, want 1", counts[trace.KindSyscall])
+	}
+	if counts[trace.KindSwapReq] != 1 {
+		t.Errorf("swap-req events = %d, want 1", counts[trace.KindSwapReq])
+	}
+	if counts[trace.KindSwapPage] != 8 || counts[trace.KindPTELock] != 8 {
+		t.Errorf("page/lock events = %d/%d, want 8/8",
+			counts[trace.KindSwapPage], counts[trace.KindPTELock])
+	}
+	if counts[trace.KindShootdown] != 1 {
+		t.Errorf("shootdown events = %d, want 1", counts[trace.KindShootdown])
+	}
+
+	s := trace.SnapshotOf(tr)
+	if s.SwapPages.Count != 1 || s.SwapPages.Sum != 8 {
+		t.Errorf("swap size histogram: count=%d sum=%g, want 1/8",
+			s.SwapPages.Count, s.SwapPages.Sum)
+	}
+	if s.IPIs != uint64(m.NumCores()-1) {
+		t.Errorf("IPIs = %d, want %d", s.IPIs, m.NumCores()-1)
+	}
+}
+
+// TestGCPhaseEventsEndToEnd runs a real collection under tracing and
+// requires all four LISP2 phases plus the pause bracket in the output —
+// the same property the CLI acceptance check relies on.
+func TestGCPhaseEventsEndToEnd(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	tr := m.EnableTracing(0)
+	sc := svagc.Config{Workers: 2}
+	j, err := jvm.New(m, jvm.Config{
+		HeapBytes: 8 << 20,
+		Policy:    svagc.Policy(sc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return svagc.New(h, roots, sc)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := j.Thread(0)
+	var keep *gc.Root
+	for i := 0; i < 200; i++ {
+		r, err := th.AllocRooted(heap.AllocSpec{Payload: 8 << 10, Class: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if keep != nil {
+				j.Roots.Remove(keep)
+			}
+			keep = r
+		}
+	}
+	if _, err := j.CollectNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	phases := map[string]int{}
+	spans := 0
+	for _, ev := range tr.Merge() {
+		switch ev.Kind {
+		case trace.KindPhase:
+			phases[ev.Name]++
+		case trace.KindSpan:
+			spans++
+		}
+	}
+	for _, name := range []string{"mark", "forward", "adjust", "compact"} {
+		if phases[name] == 0 {
+			t.Errorf("no %q phase event recorded", name)
+		}
+	}
+	if spans == 0 {
+		t.Error("no per-worker span or pause events recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct trace.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("GC trace JSON does not parse: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("GC trace is empty")
+	}
+}
+
+// TestDisabledTracingIsInert checks the off-by-default contract at the
+// machine level: no tracer, nil context buffers, kernel runs unchanged.
+func TestDisabledTracingIsInert(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	if m.Tracer() != nil {
+		t.Fatal("machine has a tracer without EnableTracing")
+	}
+	ctx := m.NewContext(0)
+	if ctx.Trace.Enabled() {
+		t.Fatal("context buffer enabled without EnableTracing")
+	}
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	a, _ := as.MapRegion(4)
+	b, _ := as.MapRegion(4)
+	if err := k.SwapVA(ctx, as, a, b, 4, kernel.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Perf.PagesSwapped != 4 {
+		t.Errorf("kernel misbehaved with tracing disabled: %d pages", ctx.Perf.PagesSwapped)
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// HistSnapshot is an aggregated power-of-two histogram. Bucket b counts
+// observed values v with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b);
+// bucket 0 counts zeros.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	Sum    float64
+	Count  uint64
+}
+
+func (h *HistSnapshot) add(o *hist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.counts[i]
+	}
+	h.Sum += o.sum
+	h.Count += o.n
+}
+
+// merge accumulates another snapshot's buckets.
+func (h *HistSnapshot) merge(o *HistSnapshot) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+}
+
+// Snapshot is the aggregate metric state of one or more tracers at a
+// point in time: per-kind event counts plus the three attribution
+// histograms the paper's figures lean on (swap request sizes, PTE-lock
+// hold times, intervals between TLB shootdowns).
+type Snapshot struct {
+	EventsByKind   map[string]uint64
+	Emitted        uint64
+	Dropped        uint64
+	BusBytes       uint64
+	IPIs           uint64
+	SwapPages      HistSnapshot // pages per applied swap request
+	LockHoldNs     HistSnapshot // simulated ns per PTE-lock critical section
+	ShootdownGapNs HistSnapshot // simulated ns between a context's shootdowns
+}
+
+// SnapshotOf aggregates the current metric state of the given tracers.
+// Like Merge, call it after the simulated work has completed.
+func SnapshotOf(tracers ...*Tracer) *Snapshot {
+	s := &Snapshot{EventsByKind: make(map[string]uint64)}
+	for _, t := range tracers {
+		t.mu.Lock()
+		for _, b := range t.bufs {
+			for k := 0; k < numKinds; k++ {
+				if c := b.m.kindCount[k]; c > 0 {
+					s.EventsByKind[Kind(k).String()] += c
+				}
+			}
+			s.Emitted += b.emitted
+			s.Dropped += b.dropped
+			s.BusBytes += b.m.busBytes
+			s.IPIs += b.m.ipis
+			s.SwapPages.add(&b.m.swapPages)
+			s.LockHoldNs.add(&b.m.lockHold)
+			s.ShootdownGapNs.add(&b.m.sdGap)
+		}
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// Merge accumulates other into s (used to combine machines in a sweep).
+func (s *Snapshot) Merge(other *Snapshot) {
+	for k, v := range other.EventsByKind {
+		s.EventsByKind[k] += v
+	}
+	s.Emitted += other.Emitted
+	s.Dropped += other.Dropped
+	s.BusBytes += other.BusBytes
+	s.IPIs += other.IPIs
+	s.SwapPages.merge(&other.SwapPages)
+	s.LockHoldNs.merge(&other.LockHoldNs)
+	s.ShootdownGapNs.merge(&other.ShootdownGapNs)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters and cumulative histograms), so the numbers a run
+// produced can be diffed, scraped, or plotted without bespoke parsing.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP svagc_trace_events_total Events recorded, by kind.\n# TYPE svagc_trace_events_total counter\n"); err != nil {
+		return err
+	}
+	// Stable order: iterate kinds, not the map.
+	for k := 0; k < numKinds; k++ {
+		name := Kind(k).String()
+		if c, ok := s.EventsByKind[name]; ok {
+			if err := p("svagc_trace_events_total{kind=%q} %d\n", name, c); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("# HELP svagc_trace_dropped_total Events overwritten in ring buffers.\n# TYPE svagc_trace_dropped_total counter\nsvagc_trace_dropped_total %d\n", s.Dropped); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_bus_bytes_total Bytes moved by Memmove bulk transfers.\n# TYPE svagc_bus_bytes_total counter\nsvagc_bus_bytes_total %d\n", s.BusBytes); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_ipis_total Shootdown IPIs sent.\n# TYPE svagc_ipis_total counter\nsvagc_ipis_total %d\n", s.IPIs); err != nil {
+		return err
+	}
+	for _, h := range []struct {
+		name, help string
+		snap       *HistSnapshot
+	}{
+		{"svagc_swap_request_pages", "Pages per applied SwapVA request.", &s.SwapPages},
+		{"svagc_pte_lock_hold_ns", "Simulated ns per PTE-lock critical section.", &s.LockHoldNs},
+		{"svagc_shootdown_interval_ns", "Simulated ns between a context's TLB shootdowns.", &s.ShootdownGapNs},
+	} {
+		if err := writeHist(p, h.name, h.help, h.snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHist(p func(string, ...any) error, name, help string, h *HistSnapshot) error {
+	if err := p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.Counts[b]
+		if h.Counts[b] == 0 {
+			continue // keep output compact; cumulative counts stay correct
+		}
+		// Upper bound of bucket b: values with bit length <= b.
+		ub := uint64(1)<<uint(b) - 1
+		if err := p("%s_bucket{le=\"%d\"} %d\n", name, ub, cum); err != nil {
+			return err
+		}
+	}
+	if err := p("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	return p("%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+}

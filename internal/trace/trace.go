@@ -1,0 +1,307 @@
+// Package trace is the machine-wide observability layer: an
+// always-compiled, off-by-default event and metrics subsystem threaded
+// through machine.Context. When enabled, every interesting simulated
+// operation — system-call entry/exit, per-page and PMD-granular swaps,
+// PTE-lock critical sections, TLB flushes and shootdowns with their IPI
+// fan-out, bus transfers, and GC phase transitions — is recorded as a
+// structured Event in a per-context ring buffer. The buffers merge by
+// simulated clock into a Chrome trace_event JSON file (chrome.go) and
+// aggregate into a Prometheus-style text snapshot of counters and
+// histograms (metrics.go).
+//
+// Cost discipline: a disabled tracer is a nil *Buffer on the context, and
+// every Emit call starts with a nil-receiver check, so the fast path is a
+// predicted branch and zero allocations (trace_test.go asserts this with
+// testing.AllocsPerRun). Emission sites on per-page hot paths additionally
+// guard with `if ctx.Trace != nil` so they do not even read the clock.
+//
+// Ownership discipline mirrors sim.Perf: each simulated thread owns its
+// Buffer and writes it without locks; the Tracer only takes its registry
+// lock when a buffer is created and when results are drained, which
+// happens after the simulated work completes.
+package trace
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event. The set covers the attribution the paper's
+// evaluation figures need: where pause time goes (phases, spans), what the
+// kernel did (syscalls, swap granularity, locks), and what the coherence
+// traffic was (flushes, shootdowns, bus transfers).
+type Kind uint8
+
+const (
+	// KindSyscall spans one kernel entry/exit (SwapVA, SwapVAVec).
+	// Arg1 = page count (SwapVA) or request count (SwapVAVec).
+	KindSyscall Kind = iota
+	// KindSwapReq spans one applied swap request inside a syscall.
+	// Arg1 = pages, Arg2 = destination VA. Feeds the swap-size histogram.
+	KindSwapReq
+	// KindSwapPage spans one per-page PTE exchange. Arg1/Arg2 = the VAs.
+	KindSwapPage
+	// KindSwapPMD spans one 2 MiB PMD-entry exchange (512 pages).
+	// Arg1/Arg2 = the VAs.
+	KindSwapPMD
+	// KindPTELock spans one PTE-table lock critical section.
+	// Arg1/Arg2 = the two table allocation IDs. Feeds the lock-hold
+	// histogram.
+	KindPTELock
+	// KindFlushLocal is a whole-ASID local TLB flush. Arg1 = ASID.
+	KindFlushLocal
+	// KindFlushPage is a single-page local invalidation. Arg1 = VPN.
+	KindFlushPage
+	// KindShootdown is an all-core IPI broadcast. Arg1 = IPI fan-out
+	// (cores - 1), Arg2 = ASID. Feeds the shootdown-interval histogram.
+	KindShootdown
+	// KindBus spans one bulk memory transfer (Memmove). Arg1 = bytes.
+	KindBus
+	// KindPhase spans a GC phase or a whole pause on the driving context.
+	KindPhase
+	// KindSpan is one worker's busy interval within a GC phase.
+	// Arg1 = worker index.
+	KindSpan
+
+	numKinds = int(KindSpan) + 1
+)
+
+// String returns the stable lower-case name used in metrics labels and
+// Chrome categories.
+func (k Kind) String() string {
+	switch k {
+	case KindSyscall:
+		return "syscall"
+	case KindSwapReq:
+		return "swap_req"
+	case KindSwapPage:
+		return "swap_page"
+	case KindSwapPMD:
+		return "swap_pmd"
+	case KindPTELock:
+		return "pte_lock"
+	case KindFlushLocal:
+		return "flush_local"
+	case KindFlushPage:
+		return "flush_page"
+	case KindShootdown:
+		return "shootdown"
+	case KindBus:
+		return "bus"
+	case KindPhase:
+		return "phase"
+	case KindSpan:
+		return "span"
+	default:
+		return "unknown"
+	}
+}
+
+// Category groups kinds for the Chrome trace "cat" field.
+func (k Kind) Category() string {
+	switch k {
+	case KindSyscall, KindSwapReq, KindSwapPage, KindSwapPMD, KindPTELock:
+		return "kernel"
+	case KindFlushLocal, KindFlushPage, KindShootdown:
+		return "tlb"
+	case KindBus:
+		return "bus"
+	case KindPhase, KindSpan:
+		return "gc"
+	default:
+		return "other"
+	}
+}
+
+// Event is one recorded occurrence. TS and Dur are simulated nanoseconds
+// from the emitting context's clock; Name is a static string (emission
+// sites must not format names, so recording never allocates).
+type Event struct {
+	TS   sim.Time
+	Dur  sim.Time
+	Kind Kind
+	Core int
+	TID  int
+	Name string
+	Arg1 uint64
+	Arg2 uint64
+}
+
+// DefaultEventsPerContext bounds each context's ring buffer (about 512 KiB
+// of events per context at 64 bytes each). Old events are overwritten and
+// counted as dropped.
+const DefaultEventsPerContext = 8192
+
+// Buffer is the per-context event sink. A nil *Buffer is the disabled
+// tracer: every method is nil-safe and the emit path returns immediately.
+// A Buffer is owned by one simulated thread and is not goroutine-safe,
+// exactly like the context's sim.Perf counters.
+type Buffer struct {
+	tid  int
+	core int
+	cap  int
+
+	events []Event // grows lazily up to cap, then becomes a ring
+	next   int     // oldest slot once the ring is full
+
+	emitted uint64
+	dropped uint64
+
+	m bufMetrics
+}
+
+// Enabled reports whether events are being recorded. Hot paths use it to
+// skip even the clock reads that feed an Emit call.
+func (b *Buffer) Enabled() bool { return b != nil }
+
+// Emit records one event. start/dur are the simulated interval; a1/a2 are
+// kind-specific (see the Kind constants). Nil-safe: the disabled path is a
+// single predicted branch and performs no allocation.
+func (b *Buffer) Emit(k Kind, name string, start, dur sim.Time, a1, a2 uint64) {
+	if b == nil {
+		return
+	}
+	ev := Event{TS: start, Dur: dur, Kind: k, Core: b.core, TID: b.tid,
+		Name: name, Arg1: a1, Arg2: a2}
+	if len(b.events) < b.cap {
+		b.events = append(b.events, ev)
+	} else {
+		b.events[b.next] = ev
+		b.next++
+		if b.next == b.cap {
+			b.next = 0
+		}
+		b.dropped++
+	}
+	b.emitted++
+	b.m.observe(k, dur, a1, start)
+}
+
+// drain returns the buffered events oldest-first.
+func (b *Buffer) drain() []Event {
+	if len(b.events) < b.cap || b.next == 0 {
+		return append([]Event(nil), b.events...)
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	return append(out, b.events[:b.next]...)
+}
+
+// Tracer is the machine-wide registry of per-context buffers. One Tracer
+// serves one simulated machine; merging and metric aggregation happen at
+// snapshot time so the emit path stays lock-free.
+type Tracer struct {
+	mu     sync.Mutex
+	perBuf int
+	bufs   []*Buffer
+}
+
+// New builds a tracer. eventsPerContext bounds each context's ring buffer;
+// <= 0 selects DefaultEventsPerContext.
+func New(eventsPerContext int) *Tracer {
+	if eventsPerContext <= 0 {
+		eventsPerContext = DefaultEventsPerContext
+	}
+	return &Tracer{perBuf: eventsPerContext}
+}
+
+// NewBuffer registers and returns a buffer for a context running on the
+// given core. Called by machine.NewContext; safe for concurrent use.
+func (t *Tracer) NewBuffer(core int) *Buffer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &Buffer{tid: len(t.bufs) + 1, core: core, cap: t.perBuf}
+	t.bufs = append(t.bufs, b)
+	return b
+}
+
+// Buffers returns the number of registered per-context buffers.
+func (t *Tracer) Buffers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.bufs)
+}
+
+// Merge returns every buffered event across all contexts, ordered by
+// simulated timestamp (ties broken by TID, then per-buffer emission
+// order). Call it after the simulated work has completed; it must not run
+// concurrently with emission.
+func (t *Tracer) Merge() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var all []Event
+	for _, b := range t.bufs {
+		all = append(all, b.drain()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].TS != all[j].TS {
+			return all[i].TS < all[j].TS
+		}
+		return all[i].TID < all[j].TID
+	})
+	return all
+}
+
+// histBuckets is the bucket count of the power-of-two histograms: bucket b
+// counts values whose integer bit length is b, i.e. v in [2^(b-1), 2^b).
+const histBuckets = 40
+
+// hist is a lock-free power-of-two histogram owned by one buffer.
+type hist struct {
+	counts [histBuckets]uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *hist) observe(v uint64) {
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b]++
+	h.sum += float64(v)
+	h.n++
+}
+
+func (h *hist) add(o *hist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.sum += o.sum
+	h.n += o.n
+}
+
+// bufMetrics is the per-buffer aggregate state updated on every emit.
+// Everything is fixed-size so the enabled emit path allocates nothing.
+type bufMetrics struct {
+	kindCount [numKinds]uint64
+	swapPages hist // KindSwapReq: request size in pages
+	lockHold  hist // KindPTELock: critical-section ns
+	sdGap     hist // KindShootdown: ns since this context's previous one
+	lastSD    sim.Time
+	hasSD     bool
+	busBytes  uint64
+	ipis      uint64
+}
+
+func (m *bufMetrics) observe(k Kind, dur sim.Time, a1 uint64, ts sim.Time) {
+	m.kindCount[k]++
+	switch k {
+	case KindSwapReq:
+		m.swapPages.observe(a1)
+	case KindPTELock:
+		m.lockHold.observe(uint64(dur))
+	case KindShootdown:
+		if m.hasSD {
+			m.sdGap.observe(uint64(ts - m.lastSD))
+		}
+		m.lastSD = ts
+		m.hasSD = true
+		m.ipis += a1
+	case KindBus:
+		m.busBytes += a1
+	}
+}
