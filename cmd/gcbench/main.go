@@ -21,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -34,6 +35,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		traceOut = flag.String("trace", "", "write a combined Chrome trace_event JSON of every workload machine (disables run memoisation)")
 		metrics  = flag.String("metrics", "", "write a combined Prometheus text-format metrics snapshot (disables run memoisation)")
+		sockets  = flag.Int("sockets", 1, "sockets (NUMA nodes) the simulated cores are split over")
+		numaPol  = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
 	)
 	flag.Parse()
 
@@ -48,7 +51,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed}
+	policy, bind, err := topology.ParsePolicy(*numaPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcbench:", err)
+		os.Exit(2)
+	}
+	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed,
+		Sockets: *sockets, NUMAPolicy: policy, NUMABind: bind}
 	var tracers []*trace.Tracer
 	if *traceOut != "" || *metrics != "" {
 		opt.OnMachine = func(m *machine.Machine) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -43,6 +44,11 @@ func main() {
 		histo     = flag.Bool("histo", false, "print a class histogram of the final heap (jmap -histo style)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (load in chrome://tracing or Perfetto)")
 		metrics   = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot of the run")
+		spillOut  = flag.String("trace-spill", "", "stream trace events to this file as JSON lines when ring buffers fill (implies tracing; nothing is dropped)")
+		traceBuf  = flag.Int("trace-buf", 0, "trace ring size in events per context (0 = default 8192; with -trace-spill this is the flush batch size)")
+		sockets   = flag.Int("sockets", 1, "sockets (NUMA nodes) the simulated cores are split over")
+		numaPol   = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
+		numaGC    = flag.String("numa-gc", "", "GC worker placement on multi-socket machines: spread or local")
 	)
 	flag.Parse()
 
@@ -67,23 +73,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
 		os.Exit(2)
 	}
-	m, err := machine.New(machine.Config{Cost: cost})
+	policy, bind, err := topology.ParsePolicy(*numaPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
+	}
+	place, err := gc.ParsePlacement(*numaGC)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
+	}
+	m, err := machine.New(machine.Config{
+		Cost:       cost,
+		Sockets:    *sockets,
+		NUMAPolicy: policy,
+		NUMABind:   bind,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
 		os.Exit(1)
 	}
 	if *jvms > 1 {
-		m.Bus().SetActiveJVMs(*jvms)
+		m.SetActiveJVMs(*jvms)
 	}
 	var tr *trace.Tracer
-	if *traceOut != "" || *metrics != "" {
-		tr = m.EnableTracing(0)
+	if *traceOut != "" || *metrics != "" || *spillOut != "" {
+		tr = m.EnableTracing(*traceBuf)
+	}
+	var spillFile *os.File
+	if *spillOut != "" {
+		spillFile, err = os.Create(*spillOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: trace-spill:", err)
+			os.Exit(1)
+		}
+		tr.SetSpill(spillFile)
 	}
 
 	heapBytes := spec.MinHeap(*factor)
 	var cfg jvm.Config
-	if *threshold > 0 && *collector == jvm.CollectorSVAGC {
-		sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold}
+	if (*threshold > 0 || place != gc.PlaceSpread) && *collector == jvm.CollectorSVAGC {
+		sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold, Placement: place}
 		cfg = jvm.Config{
 			HeapBytes: heapBytes,
 			Threads:   spec.Threads,
@@ -128,6 +158,10 @@ func main() {
 	fmt.Printf("  moving             %d pages swapped in %d SwapVA calls; %d bytes memmoved\n",
 		p.PagesSwapped, p.SwapVACalls, p.BytesCopied)
 	fmt.Printf("  perf               %s\n", p.String())
+	if m.Nodes() > 1 {
+		fmt.Printf("  numa               %s, %d/%d remote/local accesses, %d remote B, %d remote IPIs, %d cross-node swaps\n",
+			m.Topology(), p.NUMARemote, p.NUMALocal, p.NUMARemoteBytes, p.IPIsRemote, p.CrossNodeSwaps)
+	}
 	if *pauses {
 		for i := range st.Pauses {
 			fmt.Printf("  pause[%d] %s\n", i, st.Pauses[i].String())
@@ -159,6 +193,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "svagc: metrics:", err)
 			os.Exit(1)
 		}
+	}
+	if spillFile != nil {
+		if err := tr.SpillErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: trace-spill:", err)
+			os.Exit(1)
+		}
+		if err := spillFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: trace-spill:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace-spill        %d events streamed to %s\n", tr.Spilled(), *spillOut)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/workloads"
 )
 
@@ -30,6 +31,13 @@ type Options struct {
 	Quick bool
 	// Seed feeds the workloads (default 42).
 	Seed int64
+	// Sockets splits the simulated machine's cores over that many sockets
+	// (<= 0 means 1, the flat machine every figure was calibrated on).
+	Sockets int
+	// NUMAPolicy / NUMABind select the default page placement on
+	// multi-socket machines (see topology.ParsePolicy).
+	NUMAPolicy topology.Policy
+	NUMABind   int
 	// OnMachine, when set, is invoked on every workload machine right
 	// after construction — the hook the CLI uses to enable tracing
 	// (machine.EnableTracing) and collect the tracers. Runs with the hook
@@ -57,6 +65,24 @@ func (o Options) seed() int64 {
 		return 42
 	}
 	return o.Seed
+}
+
+func (o Options) sockets() int {
+	if o.Sockets <= 0 {
+		return 1
+	}
+	return o.Sockets
+}
+
+// machineConfig is the machine.Config every workload machine is built
+// from, carrying the run's socket/placement options.
+func (o Options) machineConfig() machine.Config {
+	return machine.Config{
+		Cost:       o.cost(),
+		Sockets:    o.sockets(),
+		NUMAPolicy: o.NUMAPolicy,
+		NUMABind:   o.NUMABind,
+	}
 }
 
 // Result is a rendered experiment: a titled table plus free-form notes.
@@ -134,6 +160,7 @@ func Registry() []*Experiment {
 		{ID: "ext1", Title: "Extension: SwapVA across GC designs (Table I in action)", Run: Ext1PhaseMatrix},
 		{ID: "ext2", Title: "Extension: heap on non-volatile memory", Run: Ext2NVMHeap},
 		{ID: "ext3", Title: "Extension: 2 MiB (PMD-entry) huge swaps", Run: Ext3HugePages},
+		{ID: "numa1", Title: "Extension: SwapVA shootdown scaling, 1 vs 2 sockets", Run: NUMA1ShootdownScaling},
 	}
 }
 
@@ -186,7 +213,7 @@ var (
 )
 
 func cacheKey(opt Options, collector, bench string, factor float64, jvms int) string {
-	return fmt.Sprintf("%s|%s|%s|%.3f|%d|%d|%d", opt.cost().Name, collector, bench, factor, jvms, opt.workers(), opt.seed())
+	return fmt.Sprintf("%s|%s|%s|%.3f|%d|%d|%d|s%d|%s:%d", opt.cost().Name, collector, bench, factor, jvms, opt.workers(), opt.seed(), opt.sockets(), opt.NUMAPolicy, opt.NUMABind)
 }
 
 // ResetCache clears memoised workload runs (tests use it between option
@@ -214,7 +241,7 @@ func runWorkload(opt Options, collector, bench string, factor float64, jvms int)
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(machine.Config{Cost: opt.cost()})
+	m, err := machine.New(opt.machineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +249,7 @@ func runWorkload(opt Options, collector, bench string, factor float64, jvms int)
 		opt.OnMachine(m)
 	}
 	if jvms > 1 {
-		m.Bus().SetActiveJVMs(jvms)
+		m.SetActiveJVMs(jvms)
 	}
 	cfg, ok := jvm.ConfigFor(collector, spec.MinHeap(factor), spec.Threads, opt.workers())
 	if !ok {

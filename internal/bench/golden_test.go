@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure outputs")
+
+// goldenIDs are the experiments the CI benchmark-regression smoke pins:
+// the pure-kernel microbenchmark figures plus the NUMA extension — cheap
+// in quick mode, fully deterministic (fixed cost models, no workload
+// seeds), and together covering aggregation, PMD caching, shootdown
+// scaling, the threshold crossover, and the 2-socket surcharges. A diff
+// here means a cost-model or kernel-path change reached the paper's
+// figures; regenerate with `go test ./internal/bench -run TestGolden -update`
+// and justify the delta in the PR.
+var goldenIDs = []string{"fig6", "fig8", "fig9", "fig10", "numa1"}
+
+func TestGoldenQuickFigures(t *testing.T) {
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(Options{Quick: true, GCWorkers: 4, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Format()
+			path := filepath.Join("testdata", id+".quick.golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s quick output drifted from golden file %s:\n got:\n%s\nwant:\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

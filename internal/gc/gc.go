@@ -99,6 +99,42 @@ func (rs *RootSet) Len() int {
 	return len(rs.roots)
 }
 
+// Placement selects which cores a pool's workers fork onto.
+type Placement int
+
+const (
+	// PlaceSpread distributes workers over successive cores machine-wide —
+	// the historical behaviour, and the only sensible one on one socket.
+	PlaceSpread Placement = iota
+	// PlaceLocal packs workers onto the base context's socket, wrapping
+	// round-robin within it — GC threads stay close to the heap node they
+	// compact, at the price of sharing that socket's cores.
+	PlaceLocal
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceSpread:
+		return "spread"
+	case PlaceLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// ParsePlacement parses a -numa-gc flag value.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "spread":
+		return PlaceSpread, nil
+	case "local":
+		return PlaceLocal, nil
+	}
+	return 0, fmt.Errorf("gc: unknown worker placement %q (want spread or local)", s)
+}
+
 // Pool is a set of virtual GC workers. Work items executed through the
 // pool are attributed to per-worker clocks; phases run deterministically
 // in one goroutine while still modelling parallel makespan.
@@ -110,14 +146,49 @@ type Pool struct {
 // NewPool forks n worker contexts from base (one per successive core),
 // synchronised to base's current instant.
 func NewPool(base *machine.Context, n int) *Pool {
+	return NewPoolPlaced(base, n, PlaceSpread)
+}
+
+// NewPoolPlaced is NewPool with an explicit worker placement.
+func NewPoolPlaced(base *machine.Context, n int, place Placement) *Pool {
 	if n < 1 {
 		n = 1
 	}
 	p := &Pool{Workers: make([]*machine.Context, n)}
+	topo := base.M.Topology()
 	for i := range p.Workers {
-		p.Workers[i] = base.Fork(i)
+		switch place {
+		case PlaceLocal:
+			socket := base.Socket()
+			core := topo.FirstCore(socket) +
+				(base.Core.ID-topo.FirstCore(socket)+i)%topo.CoresPerSocket()
+			p.Workers[i] = base.ForkOn(core)
+		default:
+			p.Workers[i] = base.Fork(i)
+		}
 	}
 	return p
+}
+
+// SetNodeStreams registers one active memory stream per worker on each
+// worker's node bus (the NUMA-aware successor of Bus().SetStreams(n)) and
+// returns a restore function that unregisters them. On a flat machine the
+// effect on the single bus is identical to the historical SetStreams call.
+func (p *Pool) SetNodeStreams() (restore func()) {
+	m := p.Workers[0].M
+	perNode := make([]int, m.Nodes())
+	for _, w := range p.Workers {
+		perNode[w.Core.Socket]++
+	}
+	old := make([]int, len(perNode))
+	for node, n := range perNode {
+		old[node] = m.NodeBus(node).SetStreams(n)
+	}
+	return func() {
+		for node := range perNode {
+			m.NodeBus(node).SetStreams(old[node])
+		}
+	}
 }
 
 // Next returns the next worker round-robin — the attribution pattern that

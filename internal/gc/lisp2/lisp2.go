@@ -48,6 +48,10 @@ type Config struct {
 	// false, work is attributed in static chunks, modelling a collector
 	// without stealing.
 	WorkStealing bool
+	// Placement selects which cores GC workers fork onto: spread over the
+	// whole machine (default) or packed onto the driving thread's socket
+	// (gc.PlaceLocal). Irrelevant on a single socket.
+	Placement gc.Placement
 	// ConcurrentMark charges the marking phase outside the pause,
 	// modelling a concurrent marker (the pause keeps a final-mark stub).
 	ConcurrentMark bool
@@ -157,11 +161,9 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 		return nil, fmt.Errorf("lisp2: retiring TLABs: %w", err)
 	}
 
-	bus := ctx.M.Bus()
-	prevStreams := bus.SetStreams(c.cfg.workers())
-	defer bus.SetStreams(prevStreams)
-
-	pool := gc.NewPool(ctx, c.cfg.workers())
+	pool := gc.NewPoolPlaced(ctx, c.cfg.workers(), c.cfg.Placement)
+	restoreStreams := pool.SetNodeStreams()
+	defer restoreStreams()
 	oldTop := c.H.Top()
 
 	t0 := pool.BarrierSync(0)
@@ -225,6 +227,11 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 		c.stats.Concurrent += pause.Phases.Mark - stub
 		pause.Total -= pause.Phases.Mark - stub
 		pause.Phases.Mark = stub
+		// The concurrent portion is invisible in the "mark" phase event
+		// (which now only covers the stub's share of the pause); record it
+		// explicitly so traces show where the off-pause work went.
+		ctx.Trace.Emit(trace.KindPhase, "concurrent-mark", t0,
+			t1-t0-stub, uint64(pool.Size()), 0)
 	}
 	c.stats.Pauses = append(c.stats.Pauses, *pause)
 	return pause, nil

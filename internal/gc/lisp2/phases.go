@@ -8,6 +8,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // markPhase (Phase I) traces from the roots (plus the reference slots of
@@ -28,21 +29,29 @@ func (c *Collector) markPhase(pool *gc.Pool, from, top uint64,
 			rootObjs = append(rootObjs, r.Obj)
 		}
 	}
-	for _, holder := range holders {
-		w := pool.Next()
-		meta, err := c.H.ReadMeta(w, holder)
-		if err != nil {
-			return 0, 0, err
-		}
-		for i := 0; i < meta.NumRefs; i++ {
-			r, err := c.H.Ref(w, holder, i)
+	if len(holders) > 0 {
+		// The remembered-set scan is the minor-collection-specific slice of
+		// marking; record it as its own sub-phase so generational pause
+		// attribution can separate card work from tracing.
+		scanStart := pool.MaxNow()
+		for _, holder := range holders {
+			w := pool.Next()
+			meta, err := c.H.ReadMeta(w, holder)
 			if err != nil {
 				return 0, 0, err
 			}
-			if inRange(r) {
-				rootObjs = append(rootObjs, r)
+			for i := 0; i < meta.NumRefs; i++ {
+				r, err := c.H.Ref(w, holder, i)
+				if err != nil {
+					return 0, 0, err
+				}
+				if inRange(r) {
+					rootObjs = append(rootObjs, r)
+				}
 			}
 		}
+		pool.Workers[0].Trace.Emit(trace.KindPhase, "remset-scan", scanStart,
+			pool.MaxNow()-scanStart, uint64(len(holders)), 0)
 	}
 
 	trace := func(worker func() *machine.Context, stack []heap.Object) error {

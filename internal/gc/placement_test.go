@@ -1,0 +1,82 @@
+package gc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestParsePlacement(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Placement
+		wantErr bool
+	}{
+		{"", PlaceSpread, false},
+		{"spread", PlaceSpread, false},
+		{"local", PlaceLocal, false},
+		{"packed", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePlacement(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParsePlacement(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+		} else if err == nil && got != tc.want {
+			t.Errorf("ParsePlacement(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if PlaceSpread.String() != "spread" || PlaceLocal.String() != "local" {
+		t.Error("Placement.String mismatch")
+	}
+}
+
+func TestPlaceLocalPinsWorkersToSocket(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130(), Sockets: 2})
+	topo := m.Topology()
+	// Base on socket 1, more workers than the socket has cores: placement
+	// must wrap within the socket, never spill onto socket 0.
+	base := m.NewContext(topo.FirstCore(1) + 2)
+	pool := NewPoolPlaced(base, topo.CoresPerSocket()+3, PlaceLocal)
+	seen := map[int]bool{}
+	for _, w := range pool.Workers {
+		if w.Core.Socket != 1 {
+			t.Errorf("local-placed worker landed on core %d (socket %d)", w.Core.ID, w.Core.Socket)
+		}
+		seen[w.Core.ID] = true
+	}
+	if len(seen) != topo.CoresPerSocket() {
+		t.Errorf("local placement used %d distinct cores, want all %d on the socket",
+			len(seen), topo.CoresPerSocket())
+	}
+
+	// Spread keeps the historical behaviour: successive cores machine-wide.
+	spread := NewPoolPlaced(base, 4, PlaceSpread)
+	for i, w := range spread.Workers {
+		if want := (base.Core.ID + i) % m.NumCores(); w.Core.ID != want {
+			t.Errorf("spread worker %d on core %d, want %d", i, w.Core.ID, want)
+		}
+	}
+}
+
+func TestSetNodeStreamsSplitsBySocket(t *testing.T) {
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130(), Sockets: 2})
+	topo := m.Topology()
+	base := m.NewContext(topo.CoresPerSocket() - 2) // socket 0, near the edge
+	// 4 spread workers from here: 2 land on socket 0, 2 on socket 1.
+	pool := NewPoolPlaced(base, 4, PlaceSpread)
+	before := [2]int{m.NodeBus(0).Streams(), m.NodeBus(1).Streams()}
+	restore := pool.SetNodeStreams()
+	if got := m.NodeBus(0).Streams(); got != 2 {
+		t.Errorf("node 0 streams = %d, want 2", got)
+	}
+	if got := m.NodeBus(1).Streams(); got != 2 {
+		t.Errorf("node 1 streams = %d, want 2", got)
+	}
+	restore()
+	for node, want := range before {
+		if got := m.NodeBus(node).Streams(); got != want {
+			t.Errorf("node %d streams after restore = %d, want %d", node, got, want)
+		}
+	}
+}

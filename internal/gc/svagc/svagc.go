@@ -33,6 +33,9 @@ type Config struct {
 	// least 2 MiB align to PMD boundaries and move by swapping whole
 	// PMD entries (512 pages per exchange).
 	HugePages bool
+	// Placement selects GC worker cores on a multi-socket machine
+	// (gc.PlaceSpread or gc.PlaceLocal); ignored on one socket.
+	Placement gc.Placement
 }
 
 // New builds an SVAGC collector over h.
@@ -48,6 +51,7 @@ func New(h *heap.Heap, roots *gc.RootSet, cfg Config) *lisp2.Collector {
 		Aggregate:        !cfg.DisableSwapVA && !cfg.DisableAggregation,
 		PinnedCompaction: !cfg.DisablePinning,
 		WorkStealing:     true,
+		Placement:        cfg.Placement,
 	})
 }
 

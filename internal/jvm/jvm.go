@@ -80,6 +80,10 @@ func New(m *machine.Machine, cfg Config) (*JVM, error) {
 	}
 	k := kernel.New(m)
 	as := m.NewAddressSpace()
+	// Under first-touch, the heap's pages belong to the socket of the JVM's
+	// base core: the address space is built before any thread context runs,
+	// so home it explicitly rather than defaulting to node 0.
+	as.SetHome(m.Topology().SocketOf(cfg.BaseCore % m.NumCores()))
 	h, err := heap.New(as, k, heap.Config{
 		SizeBytes:   cfg.HeapBytes,
 		Policy:      cfg.Policy,
@@ -110,8 +114,11 @@ func New(m *machine.Machine, cfg Config) (*JVM, error) {
 	}
 	// Mutator threads are memory streams for bus-contention purposes;
 	// collections temporarily override the count with their worker count
-	// (mutators are paused during STW).
-	m.Bus().AddStreams(threads)
+	// (mutators are paused during STW). Each thread presses on the bus of
+	// the socket it runs on — one bus total on a flat machine.
+	for _, t := range j.threads {
+		m.NodeBus(t.Ctx.Core.Socket).AddStreams(1)
+	}
 	return j, nil
 }
 

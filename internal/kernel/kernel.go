@@ -122,6 +122,17 @@ func (k *Kernel) getPTE(ctx *machine.Context, as *mmu.AddressSpace, va uint64,
 	if err != nil {
 		return nil, 0, err
 	}
+	if ctx.NUMAView != nil {
+		// On a multi-socket machine a full walk whose resolved frame lives
+		// on another node pays one interconnect crossing: the walk's last
+		// dependent load comes back over the link. PMD-cache hits skip the
+		// walk and therefore the surcharge, which is exactly the paper's
+		// argument for caching.
+		if e := pt.Entry(idx); e.Present {
+			ctx.Clock.Advance(ctx.NUMAView.RemoteWalkNs(
+				uint64(e.Frame) << mem.PageShift))
+		}
+	}
 	if pmdCaching {
 		pc.Store(va, pt)
 	}

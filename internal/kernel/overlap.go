@@ -103,6 +103,10 @@ func (k *Kernel) exchangeFrame(ctx *machine.Context, as *mmu.AddressSpace,
 	prev := e.Frame
 	e.Frame = frame
 	ctx.Clock.Advance(ctx.Cost.PTEUpdateNs)
+	if ctx.NUMAView != nil {
+		ctx.Clock.Advance(ctx.NUMAView.CrossNodeStoreNs(
+			uint64(frame)<<mem.PageShift, uint64(prev)<<mem.PageShift))
+	}
 	pt.Unlock()
 	if opts.PerPageFlush {
 		ctx.FlushPageLocal(as.ASID, mmu.VPN(va))

@@ -204,6 +204,12 @@ func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 	}
 	e1.Frame, e2.Frame = e2.Frame, e1.Frame
 	ctx.Clock.Advance(2 * ctx.Cost.PTEUpdateNs)
+	if ctx.NUMAView != nil {
+		// Frames on different nodes: each of the two dirty PTE stores
+		// crosses the interconnect when made visible.
+		ctx.Clock.Advance(ctx.NUMAView.CrossNodeSwapNs(
+			uint64(e1.Frame)<<mem.PageShift, uint64(e2.Frame)<<mem.PageShift))
+	}
 	if ctx.Trace != nil {
 		ctx.Trace.Emit(trace.KindPTELock, "pte-lock", lockStart,
 			ctx.Clock.Now()-lockStart, pt1.ID(), pt2.ID())

@@ -15,13 +15,15 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
 // Core is one simulated CPU core.
 type Core struct {
-	ID  int
-	TLB *mmu.TLB
+	ID     int
+	Socket int
+	TLB    *mmu.TLB
 }
 
 // Config describes a machine to build.
@@ -31,6 +33,16 @@ type Config struct {
 	LLCBytes   int   // shared cache size; <= 0 picks a default
 	LLCWays    int   // associativity; <= 0 picks a default
 	TLBEntries int   // per-core TLB entries; <= 0 picks a default
+
+	// Sockets splits the cores over that many sockets, each with its own
+	// DRAM node and memory bus, joined by the cost model's interconnect.
+	// <= 0 means 1: the original flat machine, bit-for-bit.
+	Sockets int
+	// NUMAPolicy is the default page-placement policy new address spaces
+	// inherit (first-touch unless overridden).
+	NUMAPolicy topology.Policy
+	// NUMABind is the target node of topology.PolicyBind.
+	NUMABind int
 }
 
 // Machine is the simulated computer.
@@ -40,7 +52,11 @@ type Machine struct {
 	LLC  *cache.Cache
 
 	cores []*Core
-	bus   Bus
+	buses []Bus // one per NUMA node; index 0 is the boot node
+	topo  *topology.Topology
+
+	numaPolicy topology.Policy
+	numaBind   int
 
 	asidNext atomic.Uint32
 
@@ -81,16 +97,27 @@ func New(cfg Config) (*Machine, error) {
 	if tlbEntries <= 0 {
 		tlbEntries = mmu.DefaultTLBEntries
 	}
+	topo, err := topology.New(topology.Config{Sockets: cfg.Sockets, Cost: cfg.Cost})
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
-		Cost:  cfg.Cost,
-		Phys:  mem.NewPhysMem(cfg.PhysBytes),
-		LLC:   llc,
-		cores: make([]*Core, cfg.Cost.Cores),
+		Cost:       cfg.Cost,
+		Phys:       mem.NewPhysMem(cfg.PhysBytes),
+		LLC:        llc,
+		cores:      make([]*Core, cfg.Cost.Cores),
+		buses:      make([]Bus, topo.Sockets()),
+		topo:       topo,
+		numaPolicy: cfg.NUMAPolicy,
+		numaBind:   cfg.NUMABind,
 	}
+	m.Phys.SetNodes(topo.Sockets())
 	for i := range m.cores {
-		m.cores[i] = &Core{ID: i, TLB: mmu.NewTLB(tlbEntries)}
+		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), TLB: mmu.NewTLB(tlbEntries)}
 	}
-	m.bus.init(cfg.Cost)
+	for i := range m.buses {
+		m.buses[i].init(cfg.Cost)
+	}
 	m.asidNext.Store(1)
 	return m, nil
 }
@@ -110,12 +137,48 @@ func (m *Machine) NumCores() int { return len(m.cores) }
 // Core returns core id.
 func (m *Machine) Core(id int) *Core { return m.cores[id] }
 
-// Bus returns the memory bus.
-func (m *Machine) Bus() *Bus { return &m.bus }
+// Bus returns the boot node's memory bus. On a single-socket machine this
+// is the (only) machine-wide bus, preserving the original API; NUMA-aware
+// callers use NodeBus.
+func (m *Machine) Bus() *Bus { return &m.buses[0] }
 
-// NewAddressSpace creates a process address space with a fresh ASID.
+// NodeBus returns the memory bus of the given NUMA node.
+func (m *Machine) NodeBus(node int) *Bus { return &m.buses[node] }
+
+// Nodes returns the NUMA node (socket) count.
+func (m *Machine) Nodes() int { return len(m.buses) }
+
+// Topology returns the machine's socket layout.
+func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// SetActiveJVMs sets the co-running JVM multiplier on every node bus
+// (co-running JVMs press on all sockets' channels and the interconnect).
+func (m *Machine) SetActiveJVMs(n int) {
+	for i := range m.buses {
+		m.buses[i].SetActiveJVMs(n)
+	}
+}
+
+// TotalStreams returns the machine-wide active stream count times the JVM
+// multiplier — the load figure the interconnect contends on.
+func (m *Machine) TotalStreams() int {
+	total := 0
+	for i := range m.buses {
+		total += m.buses[i].Streams() * m.buses[i].ActiveJVMs()
+	}
+	return total
+}
+
+// NewAddressSpace creates a process address space with a fresh ASID,
+// inheriting the machine's default page-placement policy.
 func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
-	return mmu.NewAddressSpace(m.asidNext.Add(1), m.Phys)
+	as := mmu.NewAddressSpace(m.asidNext.Add(1), m.Phys)
+	as.SetPlacement(mmu.Placement{
+		Policy: m.numaPolicy,
+		Bind:   m.numaBind,
+		Nodes:  m.topo.Sockets(),
+	})
+	return as
 }
 
 // Shootdowns reports the number of TLB-shootdown broadcasts since boot.
@@ -147,7 +210,15 @@ type Context struct {
 	// Emission sites either call the nil-safe Emit directly or guard with
 	// ctx.Trace != nil on per-page hot paths.
 	Trace *trace.Buffer
+	// NUMAView is the context's placement-aware cost view; nil on a flat
+	// (single-socket) machine. Env.NUMA aliases it for the charging layer;
+	// the kernel uses it directly for remote walk and cross-node swap
+	// surcharges.
+	NUMAView *NUMAView
 }
+
+// Socket returns the socket the context's core belongs to.
+func (ctx *Context) Socket() int { return ctx.Core.Socket }
 
 // NewContext creates a thread context running on the given core.
 func (m *Machine) NewContext(coreID int) *Context {
@@ -156,17 +227,22 @@ func (m *Machine) NewContext(coreID int) *Context {
 	}
 	core := m.cores[coreID]
 	ctx := &Context{M: m, Core: core}
+	bus := &m.buses[core.Socket]
 	ctx.Env = mmu.Env{
 		Clock:   sim.NewClock(0),
 		Cost:    m.Cost,
 		Perf:    &sim.Perf{},
 		TLB:     core.TLB,
 		Cache:   m.LLC,
-		BW:      m.bus.EffectiveGBs,
-		Latency: m.bus.LatencyFactor,
+		BW:      bus.EffectiveGBs,
+		Latency: bus.LatencyFactor,
 	}
 	if m.tracer != nil {
 		ctx.Trace = m.tracer.NewBuffer(coreID)
+	}
+	if !m.topo.Flat() {
+		ctx.NUMAView = &NUMAView{m: m, socket: core.Socket, perf: ctx.Perf, buf: ctx.Trace}
+		ctx.Env.NUMA = ctx.NUMAView
 	}
 	return ctx
 }
@@ -175,7 +251,13 @@ func (m *Machine) NewContext(coreID int) *Context {
 // and counters, placed on core (base.Core.ID + i) mod cores — the pattern
 // collectors use to spread virtual workers over cores.
 func (ctx *Context) Fork(i int) *Context {
-	nc := ctx.M.NewContext((ctx.Core.ID + i) % ctx.M.NumCores())
+	return ctx.ForkOn((ctx.Core.ID + i) % ctx.M.NumCores())
+}
+
+// ForkOn is Fork onto an explicit core — NUMA-aware collectors use it to
+// pin workers to a socket.
+func (ctx *Context) ForkOn(coreID int) *Context {
+	nc := ctx.M.NewContext(coreID)
 	nc.Clock.AdvanceTo(ctx.Clock.Now())
 	return nc
 }
@@ -220,7 +302,10 @@ func (ctx *Context) FlushPageLocal(asid uint32, vpn uint64) {
 // are invalidated for that ASID (flush_tlb_all_cores in Algorithm 4 /
 // the per-call broadcast in the unoptimised SwapVA). The initiating
 // thread is charged the local flush plus the broadcast initiation and
-// per-core acknowledgement costs.
+// per-core acknowledgement costs; targets on another socket pay the
+// interconnect-crossing IPI cost, so the broadcast grows with both core
+// count and socket distance. On one socket the charge equals the flat
+// machine's exactly.
 func (ctx *Context) ShootdownAll(asid uint32) {
 	m := ctx.M
 	start := ctx.Clock.Now()
@@ -230,10 +315,13 @@ func (ctx *Context) ShootdownAll(asid uint32) {
 	}
 	m.shootdownMu.Unlock()
 	m.shootdowns.Add(1)
-	ctx.Clock.Advance(ctx.Cost.TLBFlushLocalNs + ctx.Cost.ShootdownNs())
+	_, inter := m.topo.Fanout(ctx.Core.Socket)
+	ctx.Clock.Advance(ctx.Cost.TLBFlushLocalNs +
+		m.topo.ShootdownNs(ctx.Cost, ctx.Core.Socket))
 	ctx.Perf.TLBFlushLocal++
 	ctx.Perf.Shootdowns++
 	ctx.Perf.IPIsSent += uint64(m.NumCores() - 1)
+	ctx.Perf.IPIsRemote += uint64(inter)
 	ctx.Trace.Emit(trace.KindShootdown, "tlb-shootdown", start,
-		ctx.Clock.Now()-start, uint64(m.NumCores()-1), uint64(asid))
+		ctx.Clock.Now()-start, uint64(m.NumCores()-1), uint64(inter))
 }

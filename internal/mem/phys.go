@@ -29,12 +29,20 @@ const NilFrame FrameID = 0
 // PhysMem is the simulated physical memory. Allocation is mutex-protected;
 // Frame lookups are lock-free (the frame table is replaced atomically when
 // it grows) so translated accesses never contend with the allocator.
+//
+// The pool is optionally partitioned into NUMA nodes: each frame is tagged
+// with the node it was placed on at allocation time, freed frames return
+// to their node's free list, and AllocFrameOn prefers its node before
+// falling back to the others. A PhysMem built without SetNodes behaves as
+// one flat node.
 type PhysMem struct {
-	mu    sync.Mutex
-	table atomic.Pointer[[]*[PageSize]byte] // index 0 unused (NilFrame)
-	free  []FrameID
-	limit int // maximum number of frames, 0 = unlimited
-	inUse int
+	mu      sync.Mutex
+	table   atomic.Pointer[[]*[PageSize]byte] // index 0 unused (NilFrame)
+	nodeTab atomic.Pointer[[]uint8]           // node tag per frame, parallel to table
+	free    [][]FrameID                       // per-node free lists
+	nodes   int
+	limit   int // maximum number of frames, 0 = unlimited
+	inUse   int
 }
 
 // NewPhysMem creates a physical memory able to hold up to totalBytes of
@@ -45,26 +53,76 @@ func NewPhysMem(totalBytes int64) *PhysMem {
 	if totalBytes > 0 {
 		limit = int(totalBytes >> PageShift)
 	}
-	pm := &PhysMem{limit: limit}
+	pm := &PhysMem{limit: limit, nodes: 1, free: make([][]FrameID, 1)}
 	initial := make([]*[PageSize]byte, 1, 1024) // slot 0 = NilFrame
 	pm.table.Store(&initial)
+	nodeInit := make([]uint8, 1, 1024)
+	pm.nodeTab.Store(&nodeInit)
 	return pm
 }
 
-// AllocFrame returns a zeroed frame, or an error when physical memory is
-// exhausted.
-func (pm *PhysMem) AllocFrame() (FrameID, error) {
+// SetNodes partitions the pool into n NUMA nodes. Call it before any
+// allocation (the machine layer does, right after construction); frames
+// already handed out keep their node-0 tag.
+func (pm *PhysMem) SetNodes(n int) {
+	if n < 1 {
+		n = 1
+	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	pm.nodes = n
+	for len(pm.free) < n {
+		pm.free = append(pm.free, nil)
+	}
+}
+
+// Nodes returns the NUMA node count.
+func (pm *PhysMem) Nodes() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.nodes
+}
+
+// NodeOf returns the NUMA node a frame was placed on. Lock-free, like
+// Frame, so placement-aware access charging never contends with the
+// allocator.
+func (pm *PhysMem) NodeOf(id FrameID) int {
+	tab := *pm.nodeTab.Load()
+	if int(id) >= len(tab) {
+		return 0
+	}
+	return int(tab[id])
+}
+
+// AllocFrame returns a zeroed frame from node 0, or an error when physical
+// memory is exhausted. On a flat pool this is the only allocation path.
+func (pm *PhysMem) AllocFrame() (FrameID, error) { return pm.AllocFrameOn(0) }
+
+// AllocFrameOn returns a zeroed frame placed on the given node. The node's
+// free list is preferred; a fresh frame is grown (and tagged) otherwise.
+// When the global limit is reached the other nodes' free lists serve as
+// fallback, mirroring Linux's zonelist fallback — the frame keeps its
+// original node tag, so the placement really is remote.
+func (pm *PhysMem) AllocFrameOn(node int) (FrameID, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if node < 0 || node >= pm.nodes {
+		node = 0
+	}
 	cur := *pm.table.Load()
-	if n := len(pm.free); n > 0 {
-		id := pm.free[n-1]
-		pm.free = pm.free[:n-1]
+	if id, ok := pm.popFree(node); ok {
 		*cur[id] = [PageSize]byte{}
 		pm.inUse++
 		return id, nil
 	}
 	if pm.limit > 0 && len(cur)-1 >= pm.limit {
+		for i := 1; i < pm.nodes; i++ {
+			if id, ok := pm.popFree((node + i) % pm.nodes); ok {
+				*cur[id] = [PageSize]byte{}
+				pm.inUse++
+				return id, nil
+			}
+		}
 		return NilFrame, fmt.Errorf("mem: out of physical memory (%d frames)", pm.limit)
 	}
 	next := cur
@@ -74,8 +132,27 @@ func (pm *PhysMem) AllocFrame() (FrameID, error) {
 	}
 	next = append(next, new([PageSize]byte))
 	pm.table.Store(&next)
+	nodeCur := *pm.nodeTab.Load()
+	nodeNext := nodeCur
+	if len(nodeCur) == cap(nodeCur) {
+		nodeNext = make([]uint8, len(nodeCur), 2*cap(nodeCur))
+		copy(nodeNext, nodeCur)
+	}
+	nodeNext = append(nodeNext, uint8(node))
+	pm.nodeTab.Store(&nodeNext)
 	pm.inUse++
 	return FrameID(len(next) - 1), nil
+}
+
+// popFree pops the youngest free frame of a node; callers hold mu.
+func (pm *PhysMem) popFree(node int) (FrameID, bool) {
+	l := pm.free[node]
+	if len(l) == 0 {
+		return NilFrame, false
+	}
+	id := l[len(l)-1]
+	pm.free[node] = l[:len(l)-1]
+	return id, true
 }
 
 // AllocFrames allocates n frames, returning an error (and freeing any
@@ -102,7 +179,14 @@ func (pm *PhysMem) FreeFrame(id FrameID) {
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	pm.free = append(pm.free, id)
+	node := 0
+	if tab := *pm.nodeTab.Load(); int(id) < len(tab) {
+		node = int(tab[id])
+	}
+	if node >= len(pm.free) {
+		node = 0
+	}
+	pm.free[node] = append(pm.free[node], id)
 	pm.inUse--
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem"
+	"repro/internal/topology"
 )
 
 // AddressSpace is one simulated process address space: an ASID, a page
@@ -21,6 +22,70 @@ type AddressSpace struct {
 	root        pgd
 	vaNext      uint64
 	mappedPages int
+
+	place     Placement
+	placeNext int // interleave cursor; guarded by mapMu
+}
+
+// Placement selects the NUMA node backing freshly mapped pages. The zero
+// value (first-touch on node 0 of a one-node pool) reproduces the flat
+// machine's allocation exactly.
+type Placement struct {
+	// Policy is the page-placement policy.
+	Policy topology.Policy
+	// Home is the node first-touch placement targets — the node of the
+	// context that maps the region (the simulator maps eagerly, so the
+	// mapper stands in for the first toucher).
+	Home int
+	// Bind is the target node of PolicyBind.
+	Bind int
+	// Nodes is the node count PolicyInterleave cycles over (>= 1).
+	Nodes int
+}
+
+// SetPlacement installs the placement policy for subsequent Map calls.
+func (as *AddressSpace) SetPlacement(p Placement) {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	if p.Nodes < 1 {
+		p.Nodes = 1
+	}
+	as.place = p
+	as.placeNext = 0
+}
+
+// SetHome retargets first-touch placement at the given node, keeping the
+// rest of the policy; callers set it before mapping a region on behalf of
+// a thread with a known socket.
+func (as *AddressSpace) SetHome(node int) {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	as.place.Home = node
+}
+
+// Placement returns the active placement policy.
+func (as *AddressSpace) Placement() Placement {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	return as.place
+}
+
+// placeNode picks the node for the next mapped page; callers hold mapMu.
+func (as *AddressSpace) placeNode() int {
+	switch as.place.Policy {
+	case topology.PolicyInterleave:
+		n := as.place.Nodes
+		if n < 1 {
+			n = 1
+		}
+		node := as.placeNext % n
+		as.placeNext++
+		return node
+	case topology.PolicyBind:
+		return as.place.Bind
+	default: // first-touch
+		return as.place.Home
+	}
 }
 
 // MmapBase is where region allocation starts; it leaves page 0 and the
@@ -49,7 +114,7 @@ func (as *AddressSpace) Map(va uint64, pages int) error {
 			as.unmapLocked(va, i, true)
 			return fmt.Errorf("mmu: Map: va %#x already mapped", addr)
 		}
-		f, err := as.Phys.AllocFrame()
+		f, err := as.Phys.AllocFrameOn(as.placeNode())
 		if err != nil {
 			as.unmapLocked(va, i, true)
 			return err

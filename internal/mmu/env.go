@@ -20,6 +20,24 @@ type Env struct {
 	// Latency scales latency-bound DRAM accesses for bus contention;
 	// nil means no contention (factor 1).
 	Latency func() float64
+	// NUMA, when non-nil, resolves access costs per physical address
+	// through the machine topology (socket-local DRAM vs a trip across
+	// the interconnect). It replaces the flat BW/Latency hooks above for
+	// every charged access; a flat (single-socket) machine leaves it nil,
+	// keeping the original cost behaviour bit-for-bit.
+	NUMA NUMA
+}
+
+// NUMA is the placement-aware cost view a multi-socket machine installs on
+// each context's Env. Implementations may count local/remote traffic as a
+// side effect (the machine layer feeds perf counters and trace metrics).
+type NUMA interface {
+	// LatencyAt returns the contended latency (ns) of one latency-bound
+	// DRAM access to physical address pa, before the NVM write multiplier.
+	LatencyAt(pa uint64) float64
+	// BWAt returns the effective streaming bandwidth (GB/s) for an n-byte
+	// sequential transfer touching physical address pa.
+	BWAt(pa uint64, n int) float64
 }
 
 // NewEnv builds a self-contained Env (own clock, counters and TLB) for the
@@ -51,7 +69,9 @@ func (e *Env) chargeWordAccess(pa uint64, write bool) {
 	}
 	e.Perf.CacheMisses++
 	lat := float64(e.Cost.DRAMAccessNs)
-	if e.Latency != nil {
+	if e.NUMA != nil {
+		lat = e.NUMA.LatencyAt(pa)
+	} else if e.Latency != nil {
 		lat *= e.Latency()
 	}
 	if write {
@@ -77,6 +97,9 @@ func (e *Env) chargeBulkAccess(pa uint64, n int, write bool) {
 	e.Perf.CacheRefs += uint64(lines)
 	e.Perf.CacheMisses += uint64(misses)
 	bw := e.bandwidth()
+	if e.NUMA != nil {
+		bw = e.NUMA.BWAt(pa, misses*line)
+	}
 	if write {
 		bw /= e.Cost.WriteMult()
 	}

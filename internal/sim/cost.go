@@ -39,6 +39,15 @@ type CostModel struct {
 	// Pinning (sched_setaffinity-style) used by the optimised compaction.
 	PinNs Time
 
+	// Multi-socket (NUMA) parameters, read only when the machine is built
+	// with more than one socket; a flat machine never consults them. Zero
+	// values let the topology layer derive defaults from the flat figures
+	// (see topology.New).
+	InterconnectGBs     float64 // per-direction UPI-class link bandwidth, GB/s
+	InterconnectLatNs   Time    // extra latency of one remote DRAM access
+	InterconnectStreams int     // streams the link carries before contention
+	IPIPerCoreRemoteNs  Time    // per-target shootdown cost to a remote-socket core
+
 	// NVMWriteMult models a non-volatile main memory (the paper's §VI
 	// hybrid-memory outlook): store traffic costs this multiple of the
 	// DRAM figures (both latency-bound stores and streaming writes).
@@ -126,6 +135,13 @@ func XeonGold6130() *CostModel {
 		IPIPerCoreNs:    160,
 		IPIHandlerNs:    450,
 		PinNs:           900,
+
+		// Dual-socket UPI figures (the 6130 is a 2 x 16-core part): one
+		// 10.4 GT/s link per direction, remote DRAM roughly 1.7x local.
+		InterconnectGBs:     18.0,
+		InterconnectLatNs:   65,
+		InterconnectStreams: 2,
+		IPIPerCoreRemoteNs:  420,
 	}
 }
 
@@ -154,6 +170,12 @@ func XeonGold6240() *CostModel {
 		IPIPerCoreNs:    100,
 		IPIHandlerNs:    370,
 		PinNs:           750,
+
+		// Dual-socket UPI figures (2 x 18-core, 10.4 GT/s links).
+		InterconnectGBs:     20.0,
+		InterconnectLatNs:   58,
+		InterconnectStreams: 2,
+		IPIPerCoreRemoteNs:  280,
 	}
 }
 

@@ -22,7 +22,14 @@ type Perf struct {
 	TLBFlushLocal uint64 // whole-ASID local flushes
 	TLBFlushPage  uint64 // single-page local invalidations
 	IPIsSent      uint64 // per-target shootdown interrupts issued
+	IPIsRemote    uint64 // of IPIsSent, targets on another socket
 	Shootdowns    uint64 // broadcast operations initiated
+
+	// NUMA placement (counted only on multi-socket machines).
+	NUMALocal       uint64 // charged accesses resolved to the local node
+	NUMARemote      uint64 // charged accesses that crossed the interconnect
+	NUMARemoteBytes uint64 // bytes streamed across the interconnect
+	CrossNodeSwaps  uint64 // PTE swaps whose two frames sat on different nodes
 
 	// Kernel interface.
 	Syscalls     uint64
@@ -46,7 +53,12 @@ func (p *Perf) Add(other *Perf) {
 	p.TLBFlushLocal += other.TLBFlushLocal
 	p.TLBFlushPage += other.TLBFlushPage
 	p.IPIsSent += other.IPIsSent
+	p.IPIsRemote += other.IPIsRemote
 	p.Shootdowns += other.Shootdowns
+	p.NUMALocal += other.NUMALocal
+	p.NUMARemote += other.NUMARemote
+	p.NUMARemoteBytes += other.NUMARemoteBytes
+	p.CrossNodeSwaps += other.CrossNodeSwaps
 	p.Syscalls += other.Syscalls
 	p.SwapVACalls += other.SwapVACalls
 	p.PagesSwapped += other.PagesSwapped

@@ -1,0 +1,227 @@
+package topology_test
+
+// Single-socket parity: a Topology with Sockets=1 — under every placement
+// policy — must reproduce the flat machine's virtual clocks and perf
+// counters bit-for-bit, on both the raw kernel operations and a full
+// lisp2/SVAGC collection. This is the contract that lets the NUMA
+// subsystem ship without recalibrating a single existing figure. A second
+// socket, by contrast, must be strictly more expensive on the same work.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gc"
+	"repro/internal/gc/svagc"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// kernelSuite exercises every kernel entry point on one context: pairwise
+// and vectored swaps, an overlapping swap, a memmove, and an explicit
+// broadcast shootdown.
+func kernelSuite(t *testing.T, cfg machine.Config) (sim.Time, sim.Perf) {
+	t.Helper()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	mapRegion := func(pages int) uint64 {
+		va, err := as.MapRegion(pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return va
+	}
+	va1, va2 := mapRegion(64), mapRegion(64)
+	ctx := m.NewContext(0)
+
+	if err := k.SwapVA(ctx, as, va1, va2, 16, kernel.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	var reqs []kernel.SwapReq
+	for i := 0; i < 8; i++ {
+		off := uint64(16+2*i) << 12
+		reqs = append(reqs, kernel.SwapReq{VA1: va1 + off, VA2: va2 + off, Pages: 2})
+	}
+	if err := k.SwapVAVec(ctx, as, reqs, kernel.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SwapVA(ctx, as, va1, va1+8<<12, 24, kernel.DefaultOptions()); err != nil {
+		t.Fatal(err) // overlapping: exercises Algorithm 2's cycle chase
+	}
+	if err := k.Memmove(ctx, as, va1, va2, 3<<12); err != nil {
+		t.Fatal(err)
+	}
+	ctx.ShootdownAll(as.ASID)
+	return ctx.Clock.Now(), *ctx.Perf
+}
+
+// lisp2Suite runs a full SVAGC collection over a small object graph with
+// swappable and memmoved objects plus garbage.
+func lisp2Suite(t *testing.T, cfg machine.Config) (sim.Time, sim.Perf) {
+	t.Helper()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	policy := svagc.Policy(svagc.Config{})
+	h, err := heap.New(as, k, heap.Config{
+		SizeBytes: 64 << 20, Policy: policy, ZeroOnAlloc: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := &gc.RootSet{}
+	col := svagc.New(h, roots, svagc.Config{Workers: 4})
+	ctx := m.NewContext(0)
+
+	var live []*gc.Root
+	for i := 0; i < 24; i++ {
+		payload := 512
+		if i%3 == 0 {
+			payload = 80 << 10 // swappable (20 pages > threshold)
+		}
+		o, err := h.Alloc(ctx, nil, heap.AllocSpec{NumRefs: 2, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			live = append(live, roots.Add(o)) // odd i become garbage
+		}
+	}
+	if _, err := col.Collect(ctx, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	_ = live
+	return ctx.Clock.Now(), *ctx.Perf
+}
+
+func TestSingleSocketParity(t *testing.T) {
+	cost := sim.XeonGold6130()
+	flat := machine.Config{Cost: cost} // Sockets unset: the original machine
+	cases := []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"sockets1-first-touch", machine.Config{Cost: cost, Sockets: 1}},
+		{"sockets1-interleave", machine.Config{Cost: cost, Sockets: 1,
+			NUMAPolicy: topology.PolicyInterleave}},
+		{"sockets1-bind", machine.Config{Cost: cost, Sockets: 1,
+			NUMAPolicy: topology.PolicyBind}},
+	}
+	suites := []struct {
+		name string
+		run  func(*testing.T, machine.Config) (sim.Time, sim.Perf)
+	}{
+		{"kernel", kernelSuite},
+		{"lisp2", lisp2Suite},
+	}
+	for _, suite := range suites {
+		wantClock, wantPerf := suite.run(t, flat)
+		for _, tc := range cases {
+			gotClock, gotPerf := suite.run(t, tc.cfg)
+			if gotClock != wantClock {
+				t.Errorf("%s/%s: clock %v, flat machine %v", suite.name, tc.name, gotClock, wantClock)
+			}
+			if !reflect.DeepEqual(gotPerf, wantPerf) {
+				t.Errorf("%s/%s: perf diverged from flat machine:\n got  %+v\n want %+v",
+					suite.name, tc.name, gotPerf, wantPerf)
+			}
+		}
+	}
+}
+
+func TestTwoSocketsStrictlyCostlier(t *testing.T) {
+	cost := sim.XeonGold6130()
+	flatClock, flatPerf := kernelSuite(t, machine.Config{Cost: cost})
+	numaClock, numaPerf := kernelSuite(t, machine.Config{
+		Cost: cost, Sockets: 2, NUMAPolicy: topology.PolicyInterleave})
+	if numaClock <= flatClock {
+		t.Errorf("2-socket kernel suite took %v, not more than flat %v", numaClock, flatClock)
+	}
+	if numaPerf.IPIsRemote == 0 {
+		t.Error("2-socket shootdowns reported no remote IPIs")
+	}
+	if numaPerf.NUMARemote == 0 {
+		t.Error("2-socket interleaved suite reported no remote accesses")
+	}
+	if flatPerf.IPIsRemote != 0 || flatPerf.NUMARemote != 0 || flatPerf.CrossNodeSwaps != 0 {
+		t.Errorf("flat machine counted NUMA traffic: %+v", flatPerf)
+	}
+
+	lisp2Flat, _ := lisp2Suite(t, machine.Config{Cost: cost})
+	lisp2NUMA, lisp2NUMAPerf := lisp2Suite(t, machine.Config{
+		Cost: cost, Sockets: 2, NUMAPolicy: topology.PolicyInterleave})
+	if lisp2NUMA <= lisp2Flat {
+		t.Errorf("2-socket collection took %v, not more than flat %v", lisp2NUMA, lisp2Flat)
+	}
+	if lisp2NUMAPerf.NUMARemote == 0 {
+		t.Error("2-socket collection reported no remote accesses")
+	}
+}
+
+// TestPlacementPolicies pins the page→node mapping of each policy on a
+// 2-socket machine.
+func TestPlacementPolicies(t *testing.T) {
+	cost := sim.XeonGold6130()
+	nodeOfPage := func(as *mmu.AddressSpace, m *machine.Machine, va uint64) int {
+		f, ok := as.Lookup(va)
+		if !ok {
+			t.Fatalf("no frame mapped at %#x", va)
+		}
+		return m.Phys.NodeOf(f)
+	}
+	build := func(pol topology.Policy, bind int) (*machine.Machine, *mmu.AddressSpace, uint64) {
+		m, err := machine.New(machine.Config{
+			Cost: cost, Sockets: 2, NUMAPolicy: pol, NUMABind: bind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		as := m.NewAddressSpace()
+		va, err := as.MapRegion(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, as, va
+	}
+
+	m, as, va := build(topology.PolicyFirstTouch, 0)
+	for i := 0; i < 8; i++ {
+		if n := nodeOfPage(as, m, va+uint64(i)<<12); n != 0 {
+			t.Errorf("first-touch page %d on node %d, want home node 0", i, n)
+		}
+	}
+	as.SetHome(1)
+	va2, err := as.MapRegion(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if n := nodeOfPage(as, m, va2+uint64(i)<<12); n != 1 {
+			t.Errorf("first-touch page %d after SetHome(1) on node %d, want 1", i, n)
+		}
+	}
+
+	m, as, va = build(topology.PolicyInterleave, 0)
+	for i := 0; i < 8; i++ {
+		if n := nodeOfPage(as, m, va+uint64(i)<<12); n != i%2 {
+			t.Errorf("interleave page %d on node %d, want %d", i, n, i%2)
+		}
+	}
+
+	m, as, va = build(topology.PolicyBind, 1)
+	for i := 0; i < 8; i++ {
+		if n := nodeOfPage(as, m, va+uint64(i)<<12); n != 1 {
+			t.Errorf("bind:1 page %d on node %d, want 1", i, n)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package topology_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func mustNew(t *testing.T, cfg topology.Config) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		policy  topology.Policy
+		bind    int
+		wantErr bool
+	}{
+		{"", topology.PolicyFirstTouch, 0, false},
+		{"first-touch", topology.PolicyFirstTouch, 0, false},
+		{"firsttouch", topology.PolicyFirstTouch, 0, false},
+		{"local", topology.PolicyFirstTouch, 0, false},
+		{"interleave", topology.PolicyInterleave, 0, false},
+		{"bind", topology.PolicyBind, 0, false},
+		{"bind:1", topology.PolicyBind, 1, false},
+		{"bind:3", topology.PolicyBind, 3, false},
+		{"bind:-1", 0, 0, true},
+		{"bind:x", 0, 0, true},
+		{"striped", 0, 0, true},
+	}
+	for _, tc := range cases {
+		p, bind, err := topology.ParsePolicy(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParsePolicy(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && (p != tc.policy || bind != tc.bind) {
+			t.Errorf("ParsePolicy(%q) = (%v, %d), want (%v, %d)", tc.in, p, bind, tc.policy, tc.bind)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := topology.New(topology.Config{Sockets: 2}); err == nil {
+		t.Error("New without a cost model succeeded")
+	}
+	cost := sim.XeonGold6130() // 16 cores
+	if _, err := topology.New(topology.Config{Sockets: 3, Cost: cost}); err == nil {
+		t.Error("New with 16 cores over 3 sockets succeeded, want uneven-split error")
+	}
+	if topo := mustNew(t, topology.Config{Sockets: 0, Cost: cost}); !topo.Flat() {
+		t.Error("Sockets <= 0 should default to a flat topology")
+	}
+}
+
+func TestLayout(t *testing.T) {
+	cost := sim.XeonGold6130()
+	topo := mustNew(t, topology.Config{Sockets: 2, Cost: cost})
+	if topo.Flat() {
+		t.Error("2-socket topology reports Flat")
+	}
+	if topo.Sockets() != 2 || topo.CoresPerSocket() != cost.Cores/2 {
+		t.Errorf("layout = %d x %d, want 2 x %d", topo.Sockets(), topo.CoresPerSocket(), cost.Cores/2)
+	}
+	// Block distribution: cores [0,8) on socket 0, [8,16) on socket 1.
+	for core := 0; core < cost.Cores; core++ {
+		want := core / (cost.Cores / 2)
+		if got := topo.SocketOf(core); got != want {
+			t.Errorf("SocketOf(%d) = %d, want %d", core, got, want)
+		}
+	}
+	if topo.FirstCore(1) != cost.Cores/2 {
+		t.Errorf("FirstCore(1) = %d, want %d", topo.FirstCore(1), cost.Cores/2)
+	}
+	intra, inter := topo.Fanout(0)
+	if intra != cost.Cores/2-1 || inter != cost.Cores/2 {
+		t.Errorf("Fanout = (%d, %d), want (%d, %d)", intra, inter, cost.Cores/2-1, cost.Cores/2)
+	}
+}
+
+// TestShootdownFlatEquality is the cost-formula half of the parity
+// contract: on one socket the topology's broadcast formula must collapse
+// to CostModel.ShootdownNs exactly.
+func TestShootdownFlatEquality(t *testing.T) {
+	for _, cost := range []*sim.CostModel{sim.XeonGold6130(), sim.XeonGold6240(), sim.CoreI5_7600()} {
+		topo := mustNew(t, topology.Config{Sockets: 1, Cost: cost})
+		if got, want := topo.ShootdownNs(cost, 0), cost.ShootdownNs(); got != want {
+			t.Errorf("%s: flat ShootdownNs = %v, want %v", cost.Name, got, want)
+		}
+	}
+}
+
+func TestShootdownRemoteSurcharge(t *testing.T) {
+	cost := sim.XeonGold6130()
+	flat := mustNew(t, topology.Config{Sockets: 1, Cost: cost})
+	dual := mustNew(t, topology.Config{Sockets: 2, Cost: cost})
+	intra, inter := dual.Fanout(0)
+	want := cost.IPIBaseNs + sim.Time(intra)*cost.IPIPerCoreNs +
+		sim.Time(inter)*cost.IPIPerCoreRemoteNs
+	if got := dual.ShootdownNs(cost, 0); got != want {
+		t.Errorf("dual ShootdownNs = %v, want %v", got, want)
+	}
+	if dual.ShootdownNs(cost, 0) <= flat.ShootdownNs(cost, 0) {
+		t.Error("dual-socket shootdown not costlier than flat")
+	}
+}
+
+func TestInterconnectFallbacks(t *testing.T) {
+	// A flat model with no interconnect figures must still split cleanly.
+	cost := sim.CoreI5_7600()
+	if cost.InterconnectGBs != 0 || cost.IPIPerCoreRemoteNs != 0 {
+		t.Fatalf("fixture changed: i5-7600 now carries interconnect figures")
+	}
+	topo := mustNew(t, topology.Config{Sockets: 2, Cost: cost})
+	if got, want := topo.RemoteLatNs(), cost.DRAMAccessNs; got != want {
+		t.Errorf("RemoteLatNs fallback = %v, want DRAMAccessNs %v", got, want)
+	}
+	if got, want := topo.RemoteIPINs(), 2*cost.IPIPerCoreNs; got != want {
+		t.Errorf("RemoteIPINs fallback = %v, want 2x IPIPerCoreNs %v", got, want)
+	}
+	if got, want := topo.LinkGBs(1), cost.StreamBWGBs; got != want {
+		t.Errorf("LinkGBs(1) fallback = %v, want StreamBWGBs %v", got, want)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	cost := sim.XeonGold6130() // InterconnectStreams: 2, InterconnectGBs: 18
+	topo := mustNew(t, topology.Config{Sockets: 2, Cost: cost})
+	if got := topo.LinkGBs(0); got != cost.InterconnectGBs {
+		t.Errorf("LinkGBs(0) = %v, want uncontended %v", got, cost.InterconnectGBs)
+	}
+	if got := topo.LinkGBs(2); got != cost.InterconnectGBs {
+		t.Errorf("LinkGBs(2) = %v, want uncontended %v (at capacity)", got, cost.InterconnectGBs)
+	}
+	// 8 streams over 2 link channels: sqrt(4) = 2x degradation.
+	if got, want := topo.LinkGBs(8), cost.InterconnectGBs/2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LinkGBs(8) = %v, want %v", got, want)
+	}
+	if got := topo.LinkLatencyFactor(8); math.Abs(got-2) > 1e-9 {
+		t.Errorf("LinkLatencyFactor(8) = %v, want 2", got)
+	}
+	// The latency factor is capped at 8x no matter the oversubscription.
+	if got := topo.LinkLatencyFactor(1 << 20); got != 8 {
+		t.Errorf("LinkLatencyFactor(2^20) = %v, want cap 8", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cost := sim.XeonGold6130()
+	topo := mustNew(t, topology.Config{Sockets: 2, Cost: cost})
+	want := fmt.Sprintf("2 socket(s) x %d cores", cost.Cores/2)
+	if got := topo.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

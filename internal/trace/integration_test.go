@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gc"
+	"repro/internal/gc/lisp2"
 	"repro/internal/gc/svagc"
 	"repro/internal/heap"
 	"repro/internal/jvm"
@@ -150,5 +152,96 @@ func TestDisabledTracingIsInert(t *testing.T) {
 	}
 	if ctx.Perf.PagesSwapped != 4 {
 		t.Errorf("kernel misbehaved with tracing disabled: %d pages", ctx.Perf.PagesSwapped)
+	}
+}
+
+// TestMinorAndConcurrentMarkPhaseEvents covers the two phase events the
+// full-collection path never emits: the remembered-set scan of a minor
+// range collection and the out-of-pause concurrent marking span.
+func TestMinorAndConcurrentMarkPhaseEvents(t *testing.T) {
+	phasesOf := func(tr *trace.Tracer) map[string]trace.Event {
+		out := map[string]trace.Event{}
+		for _, ev := range tr.Merge() {
+			if ev.Kind == trace.KindPhase {
+				out[ev.Name] = ev
+			}
+		}
+		return out
+	}
+
+	// A minor collection over [from, top) with one remembered-set holder.
+	m := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	tr := m.EnableTracing(0)
+	k := kernel.New(m)
+	as := m.NewAddressSpace()
+	h, err := heap.New(as, k, heap.Config{
+		SizeBytes: 16 << 20, Policy: core.DefaultPolicy(), ZeroOnAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := &gc.RootSet{}
+	c := lisp2.New("x", h, roots, lisp2.Config{Workers: 2, Policy: core.DefaultPolicy()})
+	ctx := m.NewContext(0)
+	old, err := h.Alloc(ctx, nil, heap.AllocSpec{NumRefs: 1, Payload: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots.Add(old)
+	from := h.Top()
+	young, err := h.Alloc(ctx, nil, heap.AllocSpec{Payload: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRef(ctx, old, 0, young); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CollectRange(ctx, gc.CauseAllocFailure, from, gc.KindMinor,
+		[]heap.Object{old}); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := phasesOf(tr)["remset-scan"]
+	if !ok {
+		t.Fatal("minor collection emitted no remset-scan phase event")
+	}
+	if ev.Arg1 != 1 {
+		t.Errorf("remset-scan holders = %d, want 1", ev.Arg1)
+	}
+
+	// A concurrent-mark collection books its marking outside the pause.
+	m2 := machine.MustNew(machine.Config{Cost: sim.XeonGold6130()})
+	tr2 := m2.EnableTracing(0)
+	k2 := kernel.New(m2)
+	as2 := m2.NewAddressSpace()
+	h2, err := heap.New(as2, k2, heap.Config{
+		SizeBytes: 16 << 20, Policy: core.MemmovePolicy(), ZeroOnAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots2 := &gc.RootSet{}
+	c2 := lisp2.New("x", h2, roots2, lisp2.Config{
+		Workers: 2, Policy: core.MemmovePolicy(), ConcurrentMark: true})
+	ctx2 := m2.NewContext(0)
+	for i := 0; i < 50; i++ {
+		o, err := h2.Alloc(ctx2, nil, heap.AllocSpec{Payload: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			roots2.Add(o)
+		}
+	}
+	if _, err := c2.Collect(ctx2, gc.CauseExplicit); err != nil {
+		t.Fatal(err)
+	}
+	ph2 := phasesOf(tr2)
+	cm, ok := ph2["concurrent-mark"]
+	if !ok {
+		t.Fatal("concurrent collector emitted no concurrent-mark phase event")
+	}
+	if cm.Dur == 0 {
+		t.Error("concurrent-mark span has zero duration")
+	}
+	if _, ok := ph2["mark"]; !ok {
+		t.Error("final-mark stub phase missing")
 	}
 }

@@ -39,8 +39,13 @@ type Snapshot struct {
 	EventsByKind   map[string]uint64
 	Emitted        uint64
 	Dropped        uint64
+	Spilled        uint64 // events streamed to a spill writer (SetSpill)
 	BusBytes       uint64
 	IPIs           uint64
+	IPIsRemote     uint64       // of IPIs, targets on another socket
+	NUMALocal      uint64       // charged accesses resolved to the local node
+	NUMARemote     uint64       // charged accesses that crossed the interconnect
+	NUMARemoteB    uint64       // bytes streamed across the interconnect
 	SwapPages      HistSnapshot // pages per applied swap request
 	LockHoldNs     HistSnapshot // simulated ns per PTE-lock critical section
 	ShootdownGapNs HistSnapshot // simulated ns between a context's shootdowns
@@ -60,8 +65,13 @@ func SnapshotOf(tracers ...*Tracer) *Snapshot {
 			}
 			s.Emitted += b.emitted
 			s.Dropped += b.dropped
+			s.Spilled += b.spilled
 			s.BusBytes += b.m.busBytes
 			s.IPIs += b.m.ipis
+			s.IPIsRemote += b.m.ipisRemote
+			s.NUMALocal += b.m.numaLocal
+			s.NUMARemote += b.m.numaRemote
+			s.NUMARemoteB += b.m.numaRemoteBytes
 			s.SwapPages.add(&b.m.swapPages)
 			s.LockHoldNs.add(&b.m.lockHold)
 			s.ShootdownGapNs.add(&b.m.sdGap)
@@ -78,8 +88,13 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	}
 	s.Emitted += other.Emitted
 	s.Dropped += other.Dropped
+	s.Spilled += other.Spilled
 	s.BusBytes += other.BusBytes
 	s.IPIs += other.IPIs
+	s.IPIsRemote += other.IPIsRemote
+	s.NUMALocal += other.NUMALocal
+	s.NUMARemote += other.NUMARemote
+	s.NUMARemoteB += other.NUMARemoteB
 	s.SwapPages.merge(&other.SwapPages)
 	s.LockHoldNs.merge(&other.LockHoldNs)
 	s.ShootdownGapNs.merge(&other.ShootdownGapNs)
@@ -108,10 +123,22 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	if err := p("# HELP svagc_trace_dropped_total Events overwritten in ring buffers.\n# TYPE svagc_trace_dropped_total counter\nsvagc_trace_dropped_total %d\n", s.Dropped); err != nil {
 		return err
 	}
+	if err := p("# HELP svagc_trace_spilled_total Events streamed to the spill writer.\n# TYPE svagc_trace_spilled_total counter\nsvagc_trace_spilled_total %d\n", s.Spilled); err != nil {
+		return err
+	}
 	if err := p("# HELP svagc_bus_bytes_total Bytes moved by Memmove bulk transfers.\n# TYPE svagc_bus_bytes_total counter\nsvagc_bus_bytes_total %d\n", s.BusBytes); err != nil {
 		return err
 	}
 	if err := p("# HELP svagc_ipis_total Shootdown IPIs sent.\n# TYPE svagc_ipis_total counter\nsvagc_ipis_total %d\n", s.IPIs); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_ipis_remote_total Of the shootdown IPIs sent, targets on another socket.\n# TYPE svagc_ipis_remote_total counter\nsvagc_ipis_remote_total %d\n", s.IPIsRemote); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_numa_accesses_total Placement-resolved charged accesses, by locality.\n# TYPE svagc_numa_accesses_total counter\nsvagc_numa_accesses_total{locality=\"local\"} %d\nsvagc_numa_accesses_total{locality=\"remote\"} %d\n", s.NUMALocal, s.NUMARemote); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_numa_remote_bytes_total Bytes streamed across the socket interconnect.\n# TYPE svagc_numa_remote_bytes_total counter\nsvagc_numa_remote_bytes_total %d\n", s.NUMARemoteB); err != nil {
 		return err
 	}
 	for _, h := range []struct {

@@ -56,7 +56,8 @@ const (
 	// KindFlushPage is a single-page local invalidation. Arg1 = VPN.
 	KindFlushPage
 	// KindShootdown is an all-core IPI broadcast. Arg1 = IPI fan-out
-	// (cores - 1), Arg2 = ASID. Feeds the shootdown-interval histogram.
+	// (cores - 1), Arg2 = how many of those targets sat on another socket
+	// (0 on a flat machine). Feeds the shootdown-interval histogram.
 	KindShootdown
 	// KindBus spans one bulk memory transfer (Memmove). Arg1 = bytes.
 	KindBus
@@ -147,6 +148,11 @@ type Buffer struct {
 	events []Event // grows lazily up to cap, then becomes a ring
 	next   int     // oldest slot once the ring is full
 
+	// spill, when non-nil, streams a full buffer out instead of wrapping
+	// the ring (see Tracer.SetSpill).
+	spill   *spillSink
+	spilled uint64
+
 	emitted uint64
 	dropped uint64
 
@@ -168,6 +174,13 @@ func (b *Buffer) Emit(k Kind, name string, start, dur sim.Time, a1, a2 uint64) {
 		Name: name, Arg1: a1, Arg2: a2}
 	if len(b.events) < b.cap {
 		b.events = append(b.events, ev)
+	} else if b.spill != nil {
+		// Streaming mode: drain the full ring to the sink and start over.
+		// Nothing is lost, so dropped stays zero.
+		b.spill.write(b.events)
+		b.spilled += uint64(len(b.events))
+		b.events = b.events[:0]
+		b.events = append(b.events, ev)
 	} else {
 		b.events[b.next] = ev
 		b.next++
@@ -177,7 +190,24 @@ func (b *Buffer) Emit(k Kind, name string, start, dur sim.Time, a1, a2 uint64) {
 		b.dropped++
 	}
 	b.emitted++
-	b.m.observe(k, dur, a1, start)
+	b.m.observe(k, dur, a1, a2, start)
+}
+
+// ObserveNUMA counts one placement-resolved access without recording an
+// event: remote says whether it crossed the interconnect, bytes is the
+// transfer size for bulk accesses (0 for latency-bound ones). These land
+// on the per-word charge path, far too hot for ring-buffer events, so
+// they update only the fixed-size aggregate counters. Nil-safe like Emit.
+func (b *Buffer) ObserveNUMA(remote bool, bytes int) {
+	if b == nil {
+		return
+	}
+	if remote {
+		b.m.numaRemote++
+		b.m.numaRemoteBytes += uint64(bytes)
+	} else {
+		b.m.numaLocal++
+	}
 }
 
 // drain returns the buffered events oldest-first.
@@ -197,6 +227,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	perBuf int
 	bufs   []*Buffer
+	spill  *spillSink // nil unless SetSpill enabled streaming mode
 }
 
 // New builds a tracer. eventsPerContext bounds each context's ring buffer;
@@ -213,7 +244,7 @@ func New(eventsPerContext int) *Tracer {
 func (t *Tracer) NewBuffer(core int) *Buffer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	b := &Buffer{tid: len(t.bufs) + 1, core: core, cap: t.perBuf}
+	b := &Buffer{tid: len(t.bufs) + 1, core: core, cap: t.perBuf, spill: t.spill}
 	t.bufs = append(t.bufs, b)
 	return b
 }
@@ -285,9 +316,16 @@ type bufMetrics struct {
 	hasSD     bool
 	busBytes  uint64
 	ipis      uint64
+
+	// NUMA traffic, fed by ObserveNUMA (accesses) and KindShootdown Arg2
+	// (remote IPI targets).
+	numaLocal       uint64
+	numaRemote      uint64
+	numaRemoteBytes uint64
+	ipisRemote      uint64
 }
 
-func (m *bufMetrics) observe(k Kind, dur sim.Time, a1 uint64, ts sim.Time) {
+func (m *bufMetrics) observe(k Kind, dur sim.Time, a1, a2 uint64, ts sim.Time) {
 	m.kindCount[k]++
 	switch k {
 	case KindSwapReq:
@@ -301,6 +339,7 @@ func (m *bufMetrics) observe(k Kind, dur sim.Time, a1 uint64, ts sim.Time) {
 		m.lastSD = ts
 		m.hasSD = true
 		m.ipis += a1
+		m.ipisRemote += a2
 	case KindBus:
 		m.busBytes += a1
 	}
