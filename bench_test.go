@@ -215,6 +215,42 @@ func BenchmarkAblationOverlap(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulationThroughput is the harness's headline wall-clock
+// metric: how much simulated time one host second buys. Each iteration
+// runs a representative workload mix end to end; the reported
+// simns/hostsec is total simulated application time divided by host wall
+// time (BENCH_PR3.json records the tracked values).
+func BenchmarkSimulationThroughput(b *testing.B) {
+	mix := []string{"Sparse.large/4", "Sigverify", "CryptoAES"}
+	if testing.Short() {
+		mix = mix[1:]
+	}
+	var simTotal sim.Time
+	for i := 0; i < b.N; i++ {
+		for _, name := range mix {
+			spec, err := svagc.WorkloadByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := svagc.NewMachine(svagc.XeonGold6130())
+			vm, err := svagc.NewJVM(m, svagc.JVMConfig{
+				HeapBytes: spec.MinHeap(1.2),
+				Threads:   spec.Threads,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := spec.Run(vm, 42); err != nil {
+				b.Fatal(err)
+			}
+			simTotal += vm.AppTime()
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(simTotal)/secs, "simns/hostsec")
+	}
+}
+
 // BenchmarkWorkloadUnderSVAGC runs one representative workload end to end
 // per iteration — the harness's own wall-clock cost for profiling.
 func BenchmarkWorkloadUnderSVAGC(b *testing.B) {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,8 +34,9 @@ func main() {
 		mach     = flag.String("machine", "", "cost model override (gold6130, gold6240, i5-7600)")
 		workers  = flag.Int("gcworkers", 4, "GC threads per JVM")
 		seed     = flag.Int64("seed", 42, "workload seed")
-		traceOut = flag.String("trace", "", "write a combined Chrome trace_event JSON of every workload machine (disables run memoisation)")
-		metrics  = flag.String("metrics", "", "write a combined Prometheus text-format metrics snapshot (disables run memoisation)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "host worker pool for independent workload runs (1 = serial; -trace/-metrics force serial). Output is byte-identical at any setting")
+		traceOut = flag.String("trace", "", "write a combined Chrome trace_event JSON of every workload machine (disables run memoisation and host parallelism)")
+		metrics  = flag.String("metrics", "", "write a combined Prometheus text-format metrics snapshot (disables run memoisation and host parallelism)")
 		sockets  = flag.Int("sockets", 1, "sockets (NUMA nodes) the simulated cores are split over")
 		numaPol  = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
 	)
@@ -57,7 +59,8 @@ func main() {
 		os.Exit(2)
 	}
 	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed,
-		Sockets: *sockets, NUMAPolicy: policy, NUMABind: bind}
+		Sockets: *sockets, NUMAPolicy: policy, NUMABind: bind,
+		Parallel: *parallel}
 	var tracers []*trace.Tracer
 	if *traceOut != "" || *metrics != "" {
 		opt.OnMachine = func(m *machine.Machine) {
@@ -87,16 +90,24 @@ func main() {
 		}
 	}
 
-	for _, e := range exps {
-		start := time.Now()
-		res, err := e.Run(opt)
+	// Tables go to stdout and nothing else does: stdout is byte-comparable
+	// across -parallel settings (the CI smoke step diffs it). Timing and
+	// the simulation-rate summary go to stderr.
+	wallStart := time.Now()
+	bench.RunExperiments(opt, exps, func(i int, res *bench.Result, err error, wall float64) {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gcbench: %s: %v\n", e.ID, err)
+			fmt.Fprintf(os.Stderr, "gcbench: %s: %v\n", exps[i].ID, err)
 			os.Exit(1)
 		}
 		fmt.Print(res.Format())
-		fmt.Printf("(%s regenerated in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
-	}
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %.1fs wall)\n", exps[i].ID, wall)
+	})
+	wall := time.Since(wallStart).Seconds()
+	runs, simNs := bench.HarnessStats()
+	fmt.Fprintf(os.Stderr,
+		"harness: %d workload runs, %.3fs simulated in %.1fs wall — %.0f sim-ns/host-ms, %.2f runs/s, parallel=%d\n",
+		runs, simNs.Seconds(), wall, float64(simNs)/(wall*1e3), float64(runs)/wall, *parallel)
 
 	if *traceOut != "" {
 		if err := writeFile(*traceOut, trace.ChromeTraceOf(tracers...).Write); err != nil {

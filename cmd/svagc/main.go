@@ -1,6 +1,8 @@
 // Command svagc runs one Table II workload under a chosen collector and
 // prints its GC and application statistics — the interactive entry point
-// for exploring the system.
+// for exploring the system. -bench also accepts a comma-separated list,
+// which fans the runs out over a bounded host worker pool (-parallel) and
+// prints the reports in input order.
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 //	svagc -bench Sparse.large/4 -gc parallelgc
 //	svagc -bench LRUCache -gc svagc -jvms 32     # modelled co-running JVMs
 //	svagc -bench FFT.large -heap 2.0 -threshold 16
+//	svagc -bench Sigverify,CryptoAES,Bisort      # parallel multi-run
 //	svagc -list
 package main
 
@@ -16,6 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/gc"
 	"repro/internal/gc/svagc"
@@ -30,7 +37,7 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "workload name (see -list)")
+		benchName = flag.String("bench", "", "workload name, or a comma-separated list to fan out (see -list)")
 		collector = flag.String("gc", jvm.CollectorSVAGC, "collector: svagc, svagc-memmove, parallelgc, shenandoah, parallelgc-swapva, shenandoah-swapva")
 		factor    = flag.Float64("heap", 1.2, "heap size as a factor of the workload's minimum")
 		workers   = flag.Int("gcworkers", 4, "GC threads")
@@ -49,6 +56,7 @@ func main() {
 		sockets   = flag.Int("sockets", 1, "sockets (NUMA nodes) the simulated cores are split over")
 		numaPol   = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
 		numaGC    = flag.String("numa-gc", "", "GC worker placement on multi-socket machines: spread or local")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "host worker pool when -bench lists several workloads (1 = serial)")
 	)
 	flag.Parse()
 
@@ -63,11 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "svagc: -bench is required (try -list)")
 		os.Exit(2)
 	}
-	spec, err := workloads.ByName(*benchName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "svagc:", err)
-		os.Exit(2)
-	}
+	benches := strings.Split(*benchName, ",")
 	cost, err := sim.ModelByName(*mach)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
@@ -83,11 +87,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
 		os.Exit(2)
 	}
+
+	// cfgFor builds the JVM configuration for one workload spec, honouring
+	// the SVAGC-only threshold/placement overrides.
+	cfgFor := func(spec *workloads.Spec) (jvm.Config, error) {
+		heapBytes := spec.MinHeap(*factor)
+		if (*threshold > 0 || place != gc.PlaceSpread) && *collector == jvm.CollectorSVAGC {
+			sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold, Placement: place}
+			return jvm.Config{
+				HeapBytes: heapBytes,
+				Threads:   spec.Threads,
+				Policy:    svagc.Policy(sc),
+				NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+					return svagc.New(h, roots, sc)
+				},
+			}, nil
+		}
+		cfg, ok := jvm.ConfigFor(*collector, heapBytes, spec.Threads, *workers)
+		if !ok {
+			return jvm.Config{}, fmt.Errorf("unknown collector %q (want %v)", *collector, jvm.CollectorNames())
+		}
+		return cfg, nil
+	}
+
+	// report renders the run summary every mode shares.
+	report := func(w io.Writer, spec *workloads.Spec, m *machine.Machine, j *jvm.JVM) {
+		st := j.GC.Stats()
+		fmt.Fprintf(w, "%s under %s on %s (%.1fx min heap = %.1f MiB, %d mutator threads, %d GC workers, %d JVMs)\n",
+			spec.Name, j.GC.Name(), cost.Name, *factor, float64(spec.MinHeap(*factor))/(1<<20), spec.Threads, *workers, *jvms)
+		fmt.Fprintf(w, "  app time           %v (mutator %v + pauses %v + concurrent GC %v)\n",
+			j.AppTime(), j.MutatorTime(), j.GCPauseTime(), j.GCConcurrentTime())
+		fmt.Fprintf(w, "  collections        %d full, %d minor\n", st.Count(gc.KindFull), st.Count(gc.KindMinor))
+		fmt.Fprintf(w, "  pause total/max    %v / %v\n", st.TotalPause(""), st.MaxPause(""))
+		pt := st.PhaseTotals(gc.KindFull)
+		fmt.Fprintf(w, "  full-GC phases     mark %v, forward %v, adjust %v, compact %v\n",
+			pt.Mark, pt.Forward, pt.Adjust, pt.Compact)
+		p := j.TotalPerf()
+		fmt.Fprintf(w, "  moving             %d pages swapped in %d SwapVA calls; %d bytes memmoved\n",
+			p.PagesSwapped, p.SwapVACalls, p.BytesCopied)
+		fmt.Fprintf(w, "  perf               %s\n", p.String())
+		if m.Nodes() > 1 {
+			fmt.Fprintf(w, "  numa               %s, %d/%d remote/local accesses, %d remote B, %d remote IPIs, %d cross-node swaps\n",
+				m.Topology(), p.NUMARemote, p.NUMALocal, p.NUMARemoteBytes, p.IPIsRemote, p.CrossNodeSwaps)
+		}
+	}
+
+	if len(benches) > 1 {
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-trace", *traceOut != ""}, {"-metrics", *metrics != ""},
+			{"-trace-spill", *spillOut != ""}, {"-histo", *histo},
+			{"-gclog", *gclog}, {"-pauses", *pauses},
+		} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "svagc: %s needs a single -bench workload, not a list\n", f.name)
+				os.Exit(2)
+			}
+		}
+		mc := machine.Config{Cost: cost, Sockets: *sockets, NUMAPolicy: policy,
+			NUMABind: bind, SingleDriver: true}
+		runMany(benches, *parallel, mc, *jvms, *seed, cfgFor, report)
+		return
+	}
+
+	spec, err := workloads.ByName(strings.TrimSpace(benches[0]))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
+	}
 	m, err := machine.New(machine.Config{
-		Cost:       cost,
-		Sockets:    *sockets,
-		NUMAPolicy: policy,
-		NUMABind:   bind,
+		Cost:         cost,
+		Sockets:      *sockets,
+		NUMAPolicy:   policy,
+		NUMABind:     bind,
+		SingleDriver: true,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
@@ -110,27 +185,11 @@ func main() {
 		tr.SetSpill(spillFile)
 	}
 
-	heapBytes := spec.MinHeap(*factor)
-	var cfg jvm.Config
-	if (*threshold > 0 || place != gc.PlaceSpread) && *collector == jvm.CollectorSVAGC {
-		sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold, Placement: place}
-		cfg = jvm.Config{
-			HeapBytes: heapBytes,
-			Threads:   spec.Threads,
-			Policy:    svagc.Policy(sc),
-			NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
-				return svagc.New(h, roots, sc)
-			},
-		}
-	} else {
-		var ok bool
-		cfg, ok = jvm.ConfigFor(*collector, heapBytes, spec.Threads, *workers)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "svagc: unknown collector %q (want %v)\n", *collector, jvm.CollectorNames())
-			os.Exit(2)
-		}
+	cfg, err := cfgFor(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
 	}
-
 	j, err := jvm.New(m, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
@@ -139,29 +198,15 @@ func main() {
 	if *gclog {
 		j.WithGCLog(os.Stderr)
 	}
+	wallStart := time.Now()
 	if err := spec.Run(j, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
 		os.Exit(1)
 	}
+	simRate(1, j.AppTime(), time.Since(wallStart))
 
+	report(os.Stdout, spec, m, j)
 	st := j.GC.Stats()
-	fmt.Printf("%s under %s on %s (%.1fx min heap = %.1f MiB, %d mutator threads, %d GC workers, %d JVMs)\n",
-		spec.Name, j.GC.Name(), cost.Name, *factor, float64(heapBytes)/(1<<20), spec.Threads, *workers, *jvms)
-	fmt.Printf("  app time           %v (mutator %v + pauses %v + concurrent GC %v)\n",
-		j.AppTime(), j.MutatorTime(), j.GCPauseTime(), j.GCConcurrentTime())
-	fmt.Printf("  collections        %d full, %d minor\n", st.Count(gc.KindFull), st.Count(gc.KindMinor))
-	fmt.Printf("  pause total/max    %v / %v\n", st.TotalPause(""), st.MaxPause(""))
-	pt := st.PhaseTotals(gc.KindFull)
-	fmt.Printf("  full-GC phases     mark %v, forward %v, adjust %v, compact %v\n",
-		pt.Mark, pt.Forward, pt.Adjust, pt.Compact)
-	p := j.TotalPerf()
-	fmt.Printf("  moving             %d pages swapped in %d SwapVA calls; %d bytes memmoved\n",
-		p.PagesSwapped, p.SwapVACalls, p.BytesCopied)
-	fmt.Printf("  perf               %s\n", p.String())
-	if m.Nodes() > 1 {
-		fmt.Printf("  numa               %s, %d/%d remote/local accesses, %d remote B, %d remote IPIs, %d cross-node swaps\n",
-			m.Topology(), p.NUMARemote, p.NUMALocal, p.NUMARemoteBytes, p.IPIsRemote, p.CrossNodeSwaps)
-	}
 	if *pauses {
 		for i := range st.Pauses {
 			fmt.Printf("  pause[%d] %s\n", i, st.Pauses[i].String())
@@ -205,6 +250,104 @@ func main() {
 		}
 		fmt.Printf("  trace-spill        %d events streamed to %s\n", tr.Spilled(), *spillOut)
 	}
+}
+
+// runMany fans the listed workloads out over a bounded host worker pool.
+// Every run builds its own Machine, so runs share no simulated state; the
+// reports are buffered and printed in input order no matter which host
+// goroutine finishes first, so the stdout of `-bench A,B -parallel 8` is
+// byte-identical to `-parallel 1`.
+func runMany(benches []string, parallel int, mc machine.Config, jvms int, seed int64,
+	cfgFor func(*workloads.Spec) (jvm.Config, error),
+	report func(io.Writer, *workloads.Spec, *machine.Machine, *jvm.JVM)) {
+	type out struct {
+		text string
+		sim  sim.Time
+		err  error
+	}
+	runOne := func(name string) out {
+		spec, err := workloads.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return out{err: err}
+		}
+		m, err := machine.New(mc)
+		if err != nil {
+			return out{err: err}
+		}
+		if jvms > 1 {
+			m.SetActiveJVMs(jvms)
+		}
+		cfg, err := cfgFor(spec)
+		if err != nil {
+			return out{err: err}
+		}
+		j, err := jvm.New(m, cfg)
+		if err != nil {
+			return out{err: err}
+		}
+		if err := spec.Run(j, seed); err != nil {
+			return out{err: err}
+		}
+		var b strings.Builder
+		report(&b, spec, m, j)
+		return out{text: b.String(), sim: j.AppTime()}
+	}
+
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(benches) {
+		parallel = len(benches)
+	}
+	wallStart := time.Now()
+	results := make([]out, len(benches))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runOne(benches[i])
+			}
+		}()
+	}
+	for i := range benches {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var simTotal sim.Time
+	failed := false
+	for i, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "svagc: %s: %v\n", strings.TrimSpace(benches[i]), r.err)
+			failed = true
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.text)
+		simTotal += r.sim
+	}
+	simRate(len(benches), simTotal, time.Since(wallStart))
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// simRate prints the simulation-throughput summary to stderr: how much
+// simulated time the run(s) covered per unit of host wall time.
+func simRate(runs int, simulated sim.Time, wall time.Duration) {
+	w := wall.Seconds()
+	if w <= 0 {
+		w = 1e-9
+	}
+	fmt.Fprintf(os.Stderr,
+		"svagc: %d run(s), %.3fs simulated in %.2fs wall — %.0f sim-ns/host-ms, %.2f runs/s\n",
+		runs, simulated.Seconds(), w, float64(simulated)/(w*1e3), float64(runs)/w)
 }
 
 // writeFile streams write into path, closing cleanly on error.

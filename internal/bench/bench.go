@@ -6,9 +6,13 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/gc"
 	"repro/internal/jvm"
@@ -43,7 +47,17 @@ type Options struct {
 	// (machine.EnableTracing) and collect the tracers. Runs with the hook
 	// set bypass the memoisation cache, because the hook's side effects
 	// are not part of the cache key and a cache hit would skip them.
+	// Setting it also forces host-serial execution (Parallel is ignored):
+	// the hook observes every machine in construction order, and its
+	// callees are not required to be goroutine-safe.
 	OnMachine func(*machine.Machine)
+	// Parallel bounds the host worker pool figure sweeps fan their
+	// independent workload runs out over (each run builds its own
+	// Machine). <= 1 runs everything on the calling goroutine, the
+	// historical behaviour. Results are byte-identical at any setting:
+	// rows and series are always assembled in input order by the calling
+	// goroutine, workers only warm the memoised run cache.
+	Parallel int
 }
 
 func (o Options) cost() *sim.CostModel {
@@ -74,6 +88,13 @@ func (o Options) sockets() int {
 	return o.Sockets
 }
 
+func (o Options) parallel() int {
+	if o.Parallel <= 1 || o.OnMachine != nil {
+		return 1
+	}
+	return o.Parallel
+}
+
 // machineConfig is the machine.Config every workload machine is built
 // from, carrying the run's socket/placement options.
 func (o Options) machineConfig() machine.Config {
@@ -82,6 +103,10 @@ func (o Options) machineConfig() machine.Config {
 		Sockets:    o.sockets(),
 		NUMAPolicy: o.NUMAPolicy,
 		NUMABind:   o.NUMABind,
+		// Each workload run is driven by exactly one host goroutine (the
+		// prefetch worker or the assembling figure), so the machine's
+		// shared-LLC locks can be elided.
+		SingleDriver: true,
 	}
 }
 
@@ -164,6 +189,63 @@ func Registry() []*Experiment {
 	}
 }
 
+// RunExperiments executes exps and invokes emit exactly once per
+// experiment, in input order, as results become available. With
+// opt.Parallel > 1 (and no OnMachine hook) experiments run concurrently
+// on a bounded pool — memoised runs shared between concurrently running
+// figures (fig12/fig13/fig16 share every baseline) are computed once via
+// the cache's singleflight slots. Output stays deterministic because each
+// figure assembles its own rows serially and emit is ordered; only wall
+// time changes. wallSeconds is measured per experiment (overlapping under
+// concurrency).
+func RunExperiments(opt Options, exps []*Experiment,
+	emit func(i int, res *Result, err error, wallSeconds float64)) {
+
+	workers := opt.parallel()
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for i, e := range exps {
+			start := hostNow()
+			res, err := e.Run(opt)
+			emit(i, res, err, hostNow()-start)
+		}
+		return
+	}
+	type outcome struct {
+		res  *Result
+		err  error
+		wall float64
+	}
+	outs := make([]outcome, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				start := hostNow()
+				res, err := exps[i].Run(opt)
+				outs[i] = outcome{res: res, err: err, wall: hostNow() - start}
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			next <- i
+		}
+		close(next)
+	}()
+	for i := range exps {
+		<-done[i]
+		emit(i, outs[i].res, outs[i].err, outs[i].wall)
+	}
+}
+
 // ByID finds an experiment.
 func ByID(id string) (*Experiment, error) {
 	for _, e := range Registry() {
@@ -207,13 +289,50 @@ type runResult struct {
 	Perf       sim.Perf
 }
 
+// cacheCall is one singleflight slot of the run cache: the first caller
+// to claim a key computes it under the sync.Once while every concurrent
+// caller for the same key blocks on that Once and then shares the result
+// — a run shared by two figures sweeping in parallel is executed exactly
+// once, never twice and never serially behind an unrelated run.
+type cacheCall struct {
+	once sync.Once
+	r    *runResult
+	err  error
+}
+
 var (
 	cacheMu  sync.Mutex
-	runCache = map[string]*runResult{}
+	runCache = map[string]*cacheCall{}
+
+	// harnessRuns / harnessSimNs aggregate every workload execution since
+	// process start (cache misses only — a cache hit simulates nothing).
+	// The CLIs report them as the end-of-run simulation-rate line.
+	harnessRuns  atomic.Uint64
+	harnessSimNs atomic.Uint64
 )
 
+// cacheKey serialises every Options field that can change a runWorkload
+// result, plus the run coordinates. Checklist — when adding a field to
+// Options, decide its bucket and update TestCacheKeyCoversOptions:
+//   - Cost, GCWorkers, Seed, Sockets, NUMAPolicy, NUMABind: affect the
+//     simulated numbers → serialised below.
+//   - Quick: only selects which runs a figure performs, never the outcome
+//     of one run → excluded.
+//   - OnMachine, Parallel: host-side execution policy; OnMachine bypasses
+//     the cache entirely, Parallel only schedules → excluded.
+//
+// Floats are serialised with strconv.FormatFloat(f, 'g', -1, 64) — the
+// shortest exact representation — because fixed-precision formatting
+// (%.3f) collides factors that differ beyond its precision and would
+// silently serve one factor's result for the other.
 func cacheKey(opt Options, collector, bench string, factor float64, jvms int) string {
-	return fmt.Sprintf("%s|%s|%s|%.3f|%d|%d|%d|s%d|%s:%d", opt.cost().Name, collector, bench, factor, jvms, opt.workers(), opt.seed(), opt.sockets(), opt.NUMAPolicy, opt.NUMABind)
+	return strings.Join([]string{
+		opt.cost().Name, collector, bench,
+		strconv.FormatFloat(factor, 'g', -1, 64),
+		strconv.Itoa(jvms), strconv.Itoa(opt.workers()),
+		strconv.FormatInt(opt.seed(), 10), strconv.Itoa(opt.sockets()),
+		opt.NUMAPolicy.String(), strconv.Itoa(opt.NUMABind),
+	}, "|")
 }
 
 // ResetCache clears memoised workload runs (tests use it between option
@@ -221,22 +340,62 @@ func cacheKey(opt Options, collector, bench string, factor float64, jvms int) st
 func ResetCache() {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	runCache = map[string]*runResult{}
+	runCache = map[string]*cacheCall{}
+}
+
+// HarnessStats reports the workload executions performed and simulated
+// application time advanced since process start, for simulation-rate
+// summaries. Cache hits are not re-counted.
+func HarnessStats() (runs uint64, simulated sim.Time) {
+	return harnessRuns.Load(), sim.Time(harnessSimNs.Load())
 }
 
 // runWorkload executes (and memoises) one benchmark under one collector at
-// a heap factor, with jvms-1 modelled co-running JVMs.
+// a heap factor, with jvms-1 modelled co-running JVMs. Concurrent callers
+// with the same key deduplicate onto a single execution.
 func runWorkload(opt Options, collector, bench string, factor float64, jvms int) (*runResult, error) {
-	key := cacheKey(opt, collector, bench, factor, jvms)
-	if opt.OnMachine == nil {
-		cacheMu.Lock()
-		if r, ok := runCache[key]; ok {
-			cacheMu.Unlock()
-			return r, nil
-		}
-		cacheMu.Unlock()
+	if opt.OnMachine != nil {
+		return computeWorkload(opt, collector, bench, factor, jvms)
 	}
+	key := cacheKey(opt, collector, bench, factor, jvms)
+	cacheMu.Lock()
+	call, ok := runCache[key]
+	if !ok {
+		call = &cacheCall{}
+		runCache[key] = call
+	}
+	cacheMu.Unlock()
+	call.once.Do(func() {
+		call.r, call.err = computeWorkload(opt, collector, bench, factor, jvms)
+	})
+	return call.r, call.err
+}
 
+// hostNow returns host wall-clock seconds (monotonic), for harness-rate
+// reporting only — simulated results never read it.
+func hostNow() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// runSem is the machine-wide bound on in-flight workload executions. Pool
+// sizes multiply (experiments × per-figure prefetch workers), but each
+// execution holds a whole simulated machine's frame storage and is
+// CPU-bound, so beyond GOMAXPROCS extra in-flight runs only cost memory.
+// The floor of 2 keeps concurrency tests meaningful on one-core hosts.
+var runSem = make(chan struct{}, func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}())
+
+// computeWorkload is the uncached body of runWorkload: it builds a fresh
+// Machine, runs the workload, and distils the figures' metrics. Each call
+// is self-contained (no state shared with concurrent runs beyond the
+// process-wide allocation counters, which are not observable in results),
+// which is what makes host-parallel sweeps deterministic.
+func computeWorkload(opt Options, collector, bench string, factor float64, jvms int) (*runResult, error) {
+	runSem <- struct{}{}
+	defer func() { <-runSem }()
 	spec, err := workloads.ByName(bench)
 	if err != nil {
 		return nil, err
@@ -281,10 +440,50 @@ func runWorkload(opt Options, collector, bench string, factor float64, jvms int)
 		Phases:     st.PhaseTotals(gc.KindFull),
 		Perf:       j.TotalPerf(),
 	}
-	cacheMu.Lock()
-	runCache[key] = r
-	cacheMu.Unlock()
+	harnessRuns.Add(1)
+	harnessSimNs.Add(uint64(float64(r.AppTime)))
 	return r, nil
+}
+
+// runSpec names one workload run of a figure sweep.
+type runSpec struct {
+	collector, bench string
+	factor           float64
+	jvms             int
+}
+
+// prefetch warms the run cache for every spec over a bounded host worker
+// pool. Figures call it first, then assemble rows with the exact serial
+// loops they always had: the assembly pass hits the warmed cache (or
+// blocks on a still-running singleflight slot), so row order, formatting
+// and every simulated number are byte-identical to a serial run. Errors
+// are deliberately dropped here — the serial pass re-reads the same
+// memoised slots and reports the first failure in deterministic input
+// order, rather than whichever worker lost the race.
+func prefetch(opt Options, specs []runSpec) {
+	workers := opt.parallel()
+	if workers <= 1 || len(specs) < 2 {
+		return
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	ch := make(chan runSpec)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				_, _ = runWorkload(opt, s.collector, s.bench, s.factor, s.jvms)
+			}
+		}()
+	}
+	for _, s := range specs {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
 }
 
 // benchList returns the benchmark names a multi-benchmark figure sweeps:

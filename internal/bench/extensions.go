@@ -40,6 +40,14 @@ func Ext1PhaseMatrix(opt Options) (*Result, error) {
 	if opt.Quick {
 		benches = benches[:1]
 	}
+	var specs []runSpec
+	for _, bench := range benches {
+		for _, p := range pairs {
+			specs = append(specs,
+				runSpec{p.base, bench, 1.2, 1}, runSpec{p.swap, bench, 1.2, 1})
+		}
+	}
+	prefetch(opt, specs)
 	for _, bench := range benches {
 		for _, p := range pairs {
 			base, err := runWorkload(opt, p.base, bench, 1.2, 1)
@@ -84,6 +92,13 @@ func Ext2NVMHeap(opt Options) (*Result, error) {
 	for _, cost := range []*sim.CostModel{sim.XeonGold6130(), sim.XeonGold6130NVM()} {
 		o := opt
 		o.Cost = cost
+		var specs []runSpec
+		for _, bench := range benches {
+			specs = append(specs,
+				runSpec{jvm.CollectorSVAGCBase, bench, 1.2, 1},
+				runSpec{jvm.CollectorSVAGC, bench, 1.2, 1})
+		}
+		prefetch(o, specs)
 		for _, bench := range benches {
 			base, err := runWorkload(o, jvm.CollectorSVAGCBase, bench, 1.2, 1)
 			if err != nil {
@@ -134,7 +149,7 @@ func Ext3HugePages(opt Options) (*Result, error) {
 	cost := opt.cost()
 	for _, mib := range sizesMiB {
 		pages := mib << 8 // MiB -> 4 KiB pages
-		m, err := machine.New(machine.Config{Cost: cost})
+		m, err := machine.New(machine.Config{Cost: cost, SingleDriver: true})
 		if err != nil {
 			return nil, err
 		}

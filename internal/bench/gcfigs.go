@@ -24,6 +24,10 @@ func Fig1PhaseBreakdown(opt Options) (*Result, error) {
 		Paper:  "compaction is 79.33% (Sparse.large) to 84.76% (FFT.large) of full-GC time",
 		Header: []string{"benchmark", "mark", "forward", "adjust", "compact", "compact-share"},
 	}
+	prefetch(o, []runSpec{
+		{jvm.CollectorSVAGCBase, "FFT.large", 1.2, 1},
+		{jvm.CollectorSVAGCBase, "Sparse.large", 1.2, 1},
+	})
 	for _, bench := range []string{"FFT.large", "Sparse.large"} {
 		r, err := runWorkload(o, jvm.CollectorSVAGCBase, bench, 1.2, 1)
 		if err != nil {
@@ -50,6 +54,13 @@ func Fig11SwapVAGain(opt Options) (*Result, error) {
 		Header: []string{"benchmark", "gc-memmove", "compact-", "other-",
 			"gc-swapva", "compact+", "other+", "reduction", "speedup"},
 	}
+	var specs []runSpec
+	for _, bench := range benchList(opt) {
+		specs = append(specs,
+			runSpec{jvm.CollectorSVAGCBase, bench, 1.2, 1},
+			runSpec{jvm.CollectorSVAGC, bench, 1.2, 1})
+	}
+	prefetch(opt, specs)
 	for _, bench := range benchList(opt) {
 		base, err := runWorkload(opt, jvm.CollectorSVAGCBase, bench, 1.2, 1)
 		if err != nil {
@@ -83,6 +94,15 @@ func latencyFigure(opt Options, id, title, paper string,
 		Header: []string{"heap", "benchmark", "shenandoah", "parallelgc", "svagc",
 			"vs-pargc", "vs-shen"},
 	}
+	var specs []runSpec
+	for _, factor := range []float64{1.2, 2.0} {
+		for _, bench := range benchList(opt) {
+			for _, c := range []string{jvm.CollectorShen, jvm.CollectorParallel, jvm.CollectorSVAGC} {
+				specs = append(specs, runSpec{c, bench, factor, 1})
+			}
+		}
+	}
+	prefetch(opt, specs)
 	for _, factor := range []float64{1.2, 2.0} {
 		var vsPar, vsShen []float64
 		for _, bench := range benchList(opt) {
@@ -162,6 +182,13 @@ func Fig15AppThroughput(opt Options) (*Result, error) {
 		Paper:  "improvement from 15.2% (CryptoAES) to 86.9% (Sparse.large)",
 		Header: []string{"benchmark", "app-memmove", "app-swapva", "improvement"},
 	}
+	var specs []runSpec
+	for _, bench := range benchList(opt) {
+		specs = append(specs,
+			runSpec{jvm.CollectorSVAGCBase, bench, 1.2, 1},
+			runSpec{jvm.CollectorSVAGC, bench, 1.2, 1})
+	}
+	prefetch(opt, specs)
 	var imprs []float64
 	for _, bench := range benchList(opt) {
 		base, err := runWorkload(opt, jvm.CollectorSVAGCBase, bench, 1.2, 1)
@@ -194,6 +221,15 @@ func Fig16VsBaselines(opt Options) (*Result, error) {
 		Header: []string{"heap", "benchmark", "app-shen", "app-pargc", "app-svagc",
 			"vs-pargc", "vs-shen"},
 	}
+	var specs []runSpec
+	for _, factor := range []float64{1.2, 2.0} {
+		for _, bench := range benchList(opt) {
+			for _, c := range []string{jvm.CollectorShen, jvm.CollectorParallel, jvm.CollectorSVAGC} {
+				specs = append(specs, runSpec{c, bench, factor, 1})
+			}
+		}
+	}
+	prefetch(opt, specs)
 	for _, factor := range []float64{1.2, 2.0} {
 		var vsPar, vsShen []float64
 		for _, bench := range benchList(opt) {

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// keyFields are the Options fields cacheKey serialises; excludedFields are
+// the ones it deliberately leaves out (with the reason documented on
+// cacheKey). Every Options field must appear in exactly one list — adding
+// a field without classifying it here fails the test, which is the
+// checklist cacheKey's comment promises.
+var (
+	keyFields      = []string{"Cost", "GCWorkers", "Seed", "Sockets", "NUMAPolicy", "NUMABind"}
+	excludedFields = []string{"Quick", "OnMachine", "Parallel"}
+)
+
+func TestCacheKeyCoversOptions(t *testing.T) {
+	classified := map[string]bool{}
+	for _, f := range keyFields {
+		classified[f] = true
+	}
+	for _, f := range excludedFields {
+		if classified[f] {
+			t.Fatalf("field %s listed as both serialised and excluded", f)
+		}
+		classified[f] = true
+	}
+	typ := reflect.TypeOf(Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if !classified[name] {
+			t.Errorf("Options.%s is not classified in cacheKey's checklist: "+
+				"decide whether it changes run results (serialise it in cacheKey) "+
+				"or not (add it to excludedFields with a comment)", name)
+		}
+		delete(classified, name)
+	}
+	for name := range classified {
+		t.Errorf("checklist names %s, but Options has no such field", name)
+	}
+
+	// Every serialised dimension, plus the run coordinates, must produce a
+	// distinct key when varied alone.
+	base := Options{}
+	variants := []struct {
+		name string
+		key  string
+	}{
+		{"base", cacheKey(base, "svagc", "CryptoAES", 1.2, 1)},
+		{"collector", cacheKey(base, "svagc-memmove", "CryptoAES", 1.2, 1)},
+		{"bench", cacheKey(base, "svagc", "Sigverify", 1.2, 1)},
+		{"factor", cacheKey(base, "svagc", "CryptoAES", 2.0, 1)},
+		{"jvms", cacheKey(base, "svagc", "CryptoAES", 1.2, 8)},
+		{"Cost", cacheKey(Options{Cost: sim.CoreI5_7600()}, "svagc", "CryptoAES", 1.2, 1)},
+		{"GCWorkers", cacheKey(Options{GCWorkers: 8}, "svagc", "CryptoAES", 1.2, 1)},
+		{"Seed", cacheKey(Options{Seed: 7}, "svagc", "CryptoAES", 1.2, 1)},
+		{"Sockets", cacheKey(Options{Sockets: 2}, "svagc", "CryptoAES", 1.2, 1)},
+		{"NUMAPolicy", cacheKey(Options{NUMAPolicy: topology.PolicyInterleave}, "svagc", "CryptoAES", 1.2, 1)},
+		{"NUMABind", cacheKey(Options{NUMAPolicy: topology.PolicyBind, NUMABind: 1}, "svagc", "CryptoAES", 1.2, 1)},
+	}
+	seen := map[string]string{}
+	for _, v := range variants {
+		if prev, dup := seen[v.key]; dup {
+			t.Errorf("varying %s collides with %s: key %q", v.name, prev, v.key)
+		}
+		seen[v.key] = v.name
+	}
+
+	// Factors that differ beyond three decimals must not collide — the
+	// %.3f formatting this replaced served one factor's cached result for
+	// the other.
+	a := cacheKey(base, "svagc", "CryptoAES", 1.2001, 1)
+	b := cacheKey(base, "svagc", "CryptoAES", 1.2004, 1)
+	if a == b {
+		t.Errorf("factors 1.2001 and 1.2004 share cache key %q", a)
+	}
+
+	// Excluded-by-design fields must NOT change the key: a parallel run
+	// and a serial run share the same memoised results.
+	if k := cacheKey(Options{Parallel: 8}, "svagc", "CryptoAES", 1.2, 1); k != variants[0].key {
+		t.Errorf("Parallel changed the cache key: %q vs %q", k, variants[0].key)
+	}
+	if k := cacheKey(Options{Quick: true}, "svagc", "CryptoAES", 1.2, 1); k != variants[0].key {
+		t.Errorf("Quick changed the cache key: %q vs %q", k, variants[0].key)
+	}
+}
+
+// TestParallelParityQuick is the determinism contract of the -parallel
+// flag: every experiment's quick output must be byte-identical whether
+// the sweep runs serially or fanned out over 8 host workers.
+func TestParallelParityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep twice")
+	}
+	render := func(parallel int) map[string]string {
+		ResetCache()
+		defer ResetCache()
+		out := map[string]string{}
+		opt := Options{Quick: true, Parallel: parallel}
+		RunExperiments(opt, Registry(), func(i int, res *Result, err error, _ float64) {
+			if err != nil {
+				t.Fatalf("parallel=%d: %s: %v", parallel, Registry()[i].ID, err)
+			}
+			out[res.ID] = res.Format()
+		})
+		return out
+	}
+	serial := render(1)
+	fanned := render(8)
+	for id, want := range serial {
+		if got := fanned[id]; got != want {
+			t.Errorf("%s differs between -parallel=1 and -parallel=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, want, got)
+		}
+	}
+	// The fanned output must also still match the checked-in goldens —
+	// parity with a drifted serial run would hide a shared regression.
+	for _, id := range goldenIDs {
+		want, err := os.ReadFile(filepath.Join("testdata", id+".quick.golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fanned[id]; got != string(want) {
+			t.Errorf("%s at -parallel=8 drifted from its golden file:\n got:\n%s\nwant:\n%s",
+				id, got, want)
+		}
+	}
+}
+
+// TestConcurrentFiguresShareCache drives figures that share baseline runs
+// (fig12 and fig13 sweep identical workloads) through the run cache from
+// concurrent goroutines, each itself prefetching in parallel — the -race
+// exercise for the singleflight slots, the seqlock TLB and the per-set
+// cache locks underneath. The shared runs must be executed once, not per
+// figure.
+func TestConcurrentFiguresShareCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two figure sweeps")
+	}
+	ResetCache()
+	defer ResetCache()
+	before, _ := HarnessStats()
+	opt := Options{Quick: true, Parallel: 4}
+	ids := []string{"fig12", "fig13"}
+	results := make([]*Result, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, e *Experiment) {
+			defer wg.Done()
+			res, err := e.Run(opt)
+			if err != nil {
+				t.Errorf("%s: %v", e.ID, err)
+				return
+			}
+			results[i] = res
+		}(i, e)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("%s produced no result", ids[i])
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s has no rows", ids[i])
+		}
+	}
+	after, _ := HarnessStats()
+	executed := after - before
+	cached := uint64(len(sortedKeys()))
+	if executed != cached {
+		t.Errorf("%d workload executions for %d distinct runs: singleflight dedup failed",
+			executed, cached)
+	}
+}
+
+// TestConcurrentTracedMachines exercises the lock-free TLB and per-set
+// cache locks under genuinely concurrent traced machines: two workload
+// runs with OnMachine hooks execute in parallel goroutines (the hook path
+// bypasses the cache, so both really run).
+func TestConcurrentTracedMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two workloads")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var mu sync.Mutex
+			var machines []*machine.Machine
+			opt := Options{Quick: true, OnMachine: func(m *machine.Machine) {
+				mu.Lock()
+				machines = append(machines, m)
+				mu.Unlock()
+				m.EnableTracing(64)
+			}}
+			bench := []string{"CryptoAES", "Bisort"}[g]
+			if _, err := runWorkload(opt, "svagc", bench, 1.2, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			if len(machines) != 1 {
+				t.Errorf("OnMachine saw %d machines, want 1", len(machines))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

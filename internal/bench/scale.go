@@ -15,6 +15,16 @@ func jvmCounts(opt Options) []int {
 	return []int{1, 2, 4, 8, 16, 32}
 }
 
+// scaleSpecs lists every LRU-cache run a scalability figure needs: the
+// 1-JVM baseline plus the sweep points.
+func scaleSpecs(opt Options, collector string) []runSpec {
+	specs := []runSpec{{collector, "LRUCache", 1.2, 1}}
+	for _, n := range jvmCounts(opt) {
+		specs = append(specs, runSpec{collector, "LRUCache", 1.2, n})
+	}
+	return specs
+}
+
 // Fig2MultiJVM reproduces Fig. 2: the LRU-cache benchmark under
 // ParallelGC as the number of co-running JVMs grows — both GC latency
 // (maximum and total) and application time rise with contention.
@@ -25,6 +35,7 @@ func Fig2MultiJVM(opt Options) (*Result, error) {
 		Paper:  "GC latency (max and total) and application time all grow steeply with the JVM count",
 		Header: []string{"jvms", "gc-max", "gc-total", "app-time"},
 	}
+	prefetch(opt, scaleSpecs(opt, jvm.CollectorParallel))
 	base, err := runWorkload(opt, jvm.CollectorParallel, "LRUCache", 1.2, 1)
 	if err != nil {
 		return nil, err
@@ -59,6 +70,7 @@ func Fig14SVAGCScalability(opt Options) (*Result, error) {
 		Paper:  "at 32 JVMs application time grows 327.5% while GC time grows only 52%",
 		Header: []string{"jvms", "gc-total", "gc-growth", "app-time", "app-growth"},
 	}
+	prefetch(opt, scaleSpecs(opt, jvm.CollectorSVAGC))
 	base, err := runWorkload(opt, jvm.CollectorSVAGC, "LRUCache", 1.2, 1)
 	if err != nil {
 		return nil, err

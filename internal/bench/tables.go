@@ -73,6 +73,15 @@ func Table3PerfCounters(opt Options) (*Result, error) {
 	if opt.Quick {
 		factors = []float64{1.2}
 	}
+	var specs []runSpec
+	for _, bench := range benchList(opt) {
+		for _, factor := range factors {
+			specs = append(specs,
+				runSpec{jvm.CollectorSVAGCBase, bench, factor, 1},
+				runSpec{jvm.CollectorSVAGC, bench, factor, 1})
+		}
+	}
+	prefetch(opt, specs)
 	type cell struct{ cm, cs, dm, ds []float64 }
 	var agg cell
 	for _, bench := range benchList(opt) {

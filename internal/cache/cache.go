@@ -7,20 +7,55 @@ package cache
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Cache is a set-associative tag store with LRU replacement. It is shared
-// by all simulated cores (an LLC), so methods are mutex-protected.
+// by all simulated cores (an LLC), so probes must be goroutine-safe — but
+// a probe is also the single hottest operation in the whole simulator
+// (every charged word and every line of every bulk transfer lands here),
+// so instead of one cache-wide mutex each set carries its own one-word
+// spinlock. The common case — a single goroutine driving a machine, or
+// concurrent goroutines touching different sets — acquires an uncontended
+// CAS and releases with a store, with no allocation and no cross-set
+// false sharing on the lock word.
 type Cache struct {
-	mu        sync.Mutex
 	sets      int
 	ways      int
 	lineShift uint
-	tags      []uint64 // sets*ways entries; 0 = invalid
-	age       []uint64 // per-entry LRU timestamps
-	tick      uint64
+	setMask   uint64
+	locks     []atomic.Uint32 // one per set; 0 = free
+	tags      []uint64        // sets*ways entries; 0 = invalid
+	age       []uint64        // per-entry LRU timestamps
+	ticks     []uint64        // per-set LRU clocks (padded stride below)
+
+	// exclusive elides the set locks: a machine driven by a single host
+	// goroutine (the harness's virtual-parallelism contract — every bench
+	// and CLI run) pays no atomics on the probe path. Set only via
+	// SetExclusive before concurrent use; the default is the locked,
+	// goroutine-safe behaviour.
+	exclusive bool
+
+	// mru caches each set's most-recently-used way for a first-probe
+	// short-circuit; purely an accelerator, hit/miss decisions and LRU
+	// ages are unchanged.
+	mru []uint8
+
+	// lastLine is line+1 of the cache's most recent access (0 = none): a
+	// one-entry filter in front of the set locks. A repeat of the very
+	// last line is necessarily a hit, and bumping an already-MRU way does
+	// not change the set's LRU order, so the repeat can skip the lock and
+	// the probe entirely — word-sequential charge loops (8 words per line)
+	// take the fast path 7 times out of 8. Single-goroutine behaviour is
+	// exactly the unfiltered behaviour; concurrent goroutines may observe
+	// a just-evicted line as one extra hit, equivalent to an adjacent
+	// legal interleaving (the same latitude the seqlock TLB takes).
+	lastLine atomic.Uint64
 }
+
+// tickStride spaces the per-set LRU clocks eight words apart so adjacent
+// sets' clocks do not share a cache line on the host.
+const tickStride = 8
 
 // New builds a cache of the given total size in bytes with the given
 // associativity and line size. Size must divide evenly into sets of a
@@ -46,8 +81,12 @@ func New(sizeBytes, ways, lineSize int) (*Cache, error) {
 		sets:      sets,
 		ways:      ways,
 		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		locks:     make([]atomic.Uint32, sets),
 		tags:      make([]uint64, sets*ways),
 		age:       make([]uint64, sets*ways),
+		ticks:     make([]uint64, sets*tickStride),
+		mru:       make([]uint8, sets),
 	}, nil
 }
 
@@ -63,65 +102,126 @@ func MustNew(sizeBytes, ways, lineSize int) *Cache {
 // LineSize returns the cache line size in bytes.
 func (c *Cache) LineSize() int { return 1 << c.lineShift }
 
-// Access touches the line containing physical address pa and returns
-// whether it hit. On a miss the line is installed, evicting the set's LRU
-// entry. Writes and reads are treated alike (allocate-on-write).
-func (c *Cache) Access(pa uint64) bool {
-	line := pa >> c.lineShift
-	tag := line + 1 // +1 so tag 0 stays "invalid"
-	set := int(line) & (c.sets - 1)
-	base := set * c.ways
+// SetExclusive declares that exactly one goroutine will drive this cache
+// from now on, eliding the per-set locks. Callers that share a machine
+// across host goroutines (the public Machine API default) must leave it
+// unset.
+func (c *Cache) SetExclusive(on bool) { c.exclusive = on }
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tick++
-	victim, oldest := base, c.age[base]
+// lockSet spins until it owns set's lock. Critical sections are a
+// ways-long scan, so spinning beats parking even under contention.
+func (c *Cache) lockSet(set int) {
+	if c.exclusive {
+		return
+	}
+	for !c.locks[set].CompareAndSwap(0, 1) {
+	}
+}
+
+func (c *Cache) unlockSet(set int) {
+	if c.exclusive {
+		return
+	}
+	c.locks[set].Store(0)
+}
+
+// probe touches one line (identified by its line number) within its set
+// and reports whether it hit; the caller holds the set lock. On a miss
+// the line is installed, evicting the set's LRU entry.
+func (c *Cache) probe(line uint64) bool {
+	tag := line + 1 // +1 so tag 0 stays "invalid"
+	set := int(line & c.setMask)
+	base := set * c.ways
+	c.ticks[set*tickStride]++
+	tick := c.ticks[set*tickStride]
+	if m := base + int(c.mru[set]); c.tags[m] == tag {
+		c.age[m] = tick
+		return true
+	}
 	for i := base; i < base+c.ways; i++ {
 		if c.tags[i] == tag {
-			c.age[i] = c.tick
+			c.age[i] = tick
+			c.mru[set] = uint8(i - base)
 			return true
 		}
+	}
+	// Miss: second pass finds the LRU victim. Misses pay for the extra
+	// scan; hits (the common case) exit the tight tag-only loop early.
+	victim, oldest := base, c.age[base]
+	for i := base + 1; i < base+c.ways; i++ {
 		if c.age[i] < oldest {
 			victim, oldest = i, c.age[i]
 		}
 	}
 	c.tags[victim] = tag
-	c.age[victim] = c.tick
+	c.age[victim] = tick
+	c.mru[set] = uint8(victim - base)
 	return false
+}
+
+// Access touches the line containing physical address pa and returns
+// whether it hit. On a miss the line is installed, evicting the set's LRU
+// entry. Writes and reads are treated alike (allocate-on-write).
+func (c *Cache) Access(pa uint64) bool {
+	line := pa >> c.lineShift
+	if c.lastLine.Load() == line+1 {
+		return true
+	}
+	set := int(line & c.setMask)
+	c.lockSet(set)
+	hit := c.probe(line)
+	c.unlockSet(set)
+	c.lastLine.Store(line + 1)
+	return hit
 }
 
 // AccessRange touches every line in [pa, pa+n) and returns the number of
 // hits and misses. It is the bulk-transfer entry point used by streaming
-// copies.
+// copies; consecutive lines map to consecutive sets, so each iteration
+// takes exactly one set lock.
 func (c *Cache) AccessRange(pa uint64, n int) (hits, misses int) {
 	if n <= 0 {
 		return 0, 0
 	}
-	lineSize := uint64(1) << c.lineShift
-	first := pa &^ (lineSize - 1)
-	last := (pa + uint64(n) - 1) &^ (lineSize - 1)
-	for line := first; ; line += lineSize {
-		if c.Access(line) {
+	first := pa >> c.lineShift
+	last := (pa + uint64(n) - 1) >> c.lineShift
+	// The filter applies to the opening line only: further into the range
+	// the loop's own probes intervene, and a wrapping range (longer than
+	// the cache's set span) could even have evicted a filtered line.
+	line := first
+	if c.lastLine.Load() == first+1 {
+		hits++
+		line++
+	}
+	for ; line <= last; line++ {
+		set := int(line & c.setMask)
+		c.lockSet(set)
+		hit := c.probe(line)
+		c.unlockSet(set)
+		if hit {
 			hits++
 		} else {
 			misses++
 		}
-		if line == last {
-			break
-		}
 	}
+	c.lastLine.Store(last + 1)
 	return hits, misses
 }
 
 // InvalidateAll empties the cache.
 func (c *Cache) InvalidateAll() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.age[i] = 0
+	for set := 0; set < c.sets; set++ {
+		c.lockSet(set)
+		base := set * c.ways
+		for i := base; i < base+c.ways; i++ {
+			c.tags[i] = 0
+			c.age[i] = 0
+		}
+		c.ticks[set*tickStride] = 0
+		c.mru[set] = 0
+		c.unlockSet(set)
 	}
-	c.tick = 0
+	c.lastLine.Store(0)
 }
 
 // Sets and Ways expose the geometry for tests.

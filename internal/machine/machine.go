@@ -43,6 +43,14 @@ type Config struct {
 	NUMAPolicy topology.Policy
 	// NUMABind is the target node of topology.PolicyBind.
 	NUMABind int
+
+	// SingleDriver declares that exactly one host goroutine will drive
+	// the machine (the harness's virtual-parallelism contract: all
+	// simulated cores advance on the calling goroutine). The shared-LLC
+	// locks are elided in that case — a pure host-side speedup with
+	// bit-identical simulated results. Leave unset for machines shared
+	// across host goroutines.
+	SingleDriver bool
 }
 
 // Machine is the simulated computer.
@@ -92,6 +100,9 @@ func New(cfg Config) (*Machine, error) {
 	llc, err := cache.New(llcBytes, ways, cfg.Cost.CacheLineSize)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SingleDriver {
+		llc.SetExclusive(true)
 	}
 	tlbEntries := cfg.TLBEntries
 	if tlbEntries <= 0 {

@@ -1,7 +1,7 @@
 package mmu
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -10,18 +10,25 @@ import (
 // core. It caches VPN→frame translations per address-space ID. A TLB is
 // mutated both by the core that owns it (fills, local flushes) and by
 // shootdowns from other cores, which may run on other goroutines when
-// several JVMs are driven concurrently — so entries are guarded by a
-// mutex (the analogue of the hardware's coherent invalidation).
+// several JVMs are driven concurrently — and the harness additionally
+// runs many independent machines on host goroutines, so Lookup/Insert sit
+// on the hottest simulated path there is. Entries are therefore guarded
+// by a per-entry seqlock (a generation counter plus atomic key/frame
+// words) instead of a mutex: the common case — the owning core looking up
+// or filling its own TLB — is three uncontended atomic loads or one CAS,
+// with no lock, no allocation, and no false sharing with other ASIDs'
+// slots. Cross-core writers (shootdown handlers) take the per-entry
+// writer CAS only for the slots they actually invalidate.
+//
+// A reader that races a writer simply misses and re-walks — the same
+// behaviour real hardware exhibits between a PTE update and the
+// invalidation landing, and a miss is always safe (it costs a walk, never
+// a wrong translation).
 type TLB struct {
-	mu      sync.Mutex
-	entries []tlbEntry
-	mask    uint64
-}
-
-type tlbEntry struct {
-	key   uint64 // VPN<<16 | ASID; 0 is never a valid key (see Insert)
-	frame mem.FrameID
-	valid bool
+	seq    []atomic.Uint32 // per-entry seqlock; odd = writer active
+	keys   []atomic.Uint64 // tlbKey, or 0 when the slot is invalid
+	frames []atomic.Uint32 // FrameID backing the key
+	mask   uint64
 }
 
 // DefaultTLBEntries matches a typical unified second-level data TLB.
@@ -34,64 +41,109 @@ func NewTLB(entries int) *TLB {
 	for n < entries {
 		n <<= 1
 	}
-	return &TLB{entries: make([]tlbEntry, n), mask: uint64(n - 1)}
+	return &TLB{
+		seq:    make([]atomic.Uint32, n),
+		keys:   make([]atomic.Uint64, n),
+		frames: make([]atomic.Uint32, n),
+		mask:   uint64(n - 1),
+	}
 }
 
-func tlbKey(asid uint32, vpn uint64) uint64 { return vpn<<16 | uint64(asid&0xffff) }
+// tlbValid marks a key as occupied; VPN 0 + ASID 0 would otherwise encode
+// to 0, colliding with the empty-slot sentinel.
+const tlbValid = uint64(1) << 63
 
-// Lookup returns the cached frame for (asid, vpn).
-func (t *TLB) Lookup(asid uint32, vpn uint64) (mem.FrameID, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := &t.entries[vpn&t.mask]
-	if e.valid && e.key == tlbKey(asid, vpn) {
-		return e.frame, true
+func tlbKey(asid uint32, vpn uint64) uint64 {
+	return tlbValid | vpn<<16 | uint64(asid&0xffff)
+}
+
+// lockEntry spins until it owns entry i's seqlock, returning the even
+// generation it advanced from. Writers are rare (fills on miss,
+// invalidations) and critical sections are a handful of stores, so a bare
+// spin is cheaper than parking.
+func (t *TLB) lockEntry(i uint64) uint32 {
+	for {
+		s := t.seq[i].Load()
+		if s&1 == 0 && t.seq[i].CompareAndSwap(s, s+1) {
+			return s
+		}
 	}
-	return mem.NilFrame, false
+}
+
+// Lookup returns the cached frame for (asid, vpn). It is lock-free: the
+// generation is read before and after the entry words, and any
+// intervening writer turns the hit into a (safe) miss.
+func (t *TLB) Lookup(asid uint32, vpn uint64) (mem.FrameID, bool) {
+	i := vpn & t.mask
+	s := t.seq[i].Load()
+	if s&1 != 0 {
+		return mem.NilFrame, false
+	}
+	if t.keys[i].Load() != tlbKey(asid, vpn) {
+		return mem.NilFrame, false
+	}
+	f := mem.FrameID(t.frames[i].Load())
+	if t.seq[i].Load() != s {
+		return mem.NilFrame, false
+	}
+	return f, true
 }
 
 // Insert caches a translation, evicting whatever shared its slot.
 func (t *TLB) Insert(asid uint32, vpn uint64, frame mem.FrameID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := &t.entries[vpn&t.mask]
-	e.key = tlbKey(asid, vpn)
-	e.frame = frame
-	e.valid = true
+	i := vpn & t.mask
+	s := t.lockEntry(i)
+	t.keys[i].Store(tlbKey(asid, vpn))
+	t.frames[i].Store(uint32(frame))
+	t.seq[i].Store(s + 2)
 }
 
 // FlushASID invalidates every entry belonging to asid (the per-process
-// flush issued by flush_tlb_local / shootdown handlers).
+// flush issued by flush_tlb_local / shootdown handlers). Slots holding
+// other ASIDs are skipped with a single load and never write-locked.
 func (t *TLB) FlushASID(asid uint32) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	want := uint64(asid & 0xffff)
-	for i := range t.entries {
-		if t.entries[i].valid && t.entries[i].key&0xffff == want {
-			t.entries[i].valid = false
+	for i := range t.keys {
+		k := t.keys[i].Load()
+		if k&tlbValid == 0 || k&0xffff != want {
+			continue
 		}
+		s := t.lockEntry(uint64(i))
+		// Re-check under the writer lock: a racing fill may have replaced
+		// the slot with another ASID's translation, which must survive.
+		if k := t.keys[i].Load(); k&tlbValid != 0 && k&0xffff == want {
+			t.keys[i].Store(0)
+		}
+		t.seq[i].Store(s + 2)
 	}
 }
 
 // FlushPage invalidates the single translation for (asid, vpn), the
 // invlpg-style flush used by the overlap-swap inner loop.
 func (t *TLB) FlushPage(asid uint32, vpn uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := &t.entries[vpn&t.mask]
-	if e.valid && e.key == tlbKey(asid, vpn) {
-		e.valid = false
+	i := vpn & t.mask
+	key := tlbKey(asid, vpn)
+	if t.keys[i].Load() != key {
+		return
 	}
+	s := t.lockEntry(i)
+	if t.keys[i].Load() == key {
+		t.keys[i].Store(0)
+	}
+	t.seq[i].Store(s + 2)
 }
 
 // FlushAll invalidates everything.
 func (t *TLB) FlushAll() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for i := range t.entries {
-		t.entries[i].valid = false
+	for i := range t.keys {
+		if t.keys[i].Load() == 0 {
+			continue
+		}
+		s := t.lockEntry(uint64(i))
+		t.keys[i].Store(0)
+		t.seq[i].Store(s + 2)
 	}
 }
 
 // Size returns the entry count.
-func (t *TLB) Size() int { return len(t.entries) }
+func (t *TLB) Size() int { return len(t.keys) }
