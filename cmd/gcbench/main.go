@@ -39,6 +39,9 @@ func main() {
 		metrics  = flag.String("metrics", "", "write a combined Prometheus text-format metrics snapshot (disables run memoisation and host parallelism)")
 		sockets  = flag.Int("sockets", 1, "sockets (NUMA nodes) the simulated cores are split over")
 		numaPol  = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
+		faultPln = flag.String("fault-plan", "", "fault-injection plan: comma-separated site=rate (sites: pte-lock, ipi-ack, swapva, poison, interconnect, all), e.g. 'swapva=0.01,poison=1e-4'")
+		faultRt  = flag.Float64("fault-rate", 0, "uniform fault rate applied to every site (per-site -fault-plan entries override it)")
+		faultSd  = flag.Int64("fault-seed", 0, "fault-injection seed; the same seed and plan replay the identical fault sequence (0 = workload seed)")
 	)
 	flag.Parse()
 
@@ -60,7 +63,12 @@ func main() {
 	}
 	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed,
 		Sockets: *sockets, NUMAPolicy: policy, NUMABind: bind,
-		Parallel: *parallel}
+		Parallel:  *parallel,
+		FaultPlan: *faultPln, FaultRate: *faultRt, FaultSeed: *faultSd}
+	if _, err := opt.FaultInjector(); err != nil {
+		fmt.Fprintln(os.Stderr, "gcbench:", err)
+		os.Exit(2)
+	}
 	var tracers []*trace.Tracer
 	if *traceOut != "" || *metrics != "" {
 		opt.OnMachine = func(m *machine.Machine) {

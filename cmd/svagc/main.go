@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/gc"
 	"repro/internal/gc/svagc"
 	"repro/internal/heap"
@@ -57,6 +58,9 @@ func main() {
 		numaPol   = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
 		numaGC    = flag.String("numa-gc", "", "GC worker placement on multi-socket machines: spread or local")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "host worker pool when -bench lists several workloads (1 = serial)")
+		faultPln  = flag.String("fault-plan", "", "fault-injection plan: comma-separated site=rate (sites: pte-lock, ipi-ack, swapva, poison, interconnect, all), e.g. 'swapva=0.01,poison=1e-4'")
+		faultRt   = flag.Float64("fault-rate", 0, "uniform fault rate applied to every site (per-site -fault-plan entries override it)")
+		faultSd   = flag.Int64("fault-seed", 0, "fault-injection seed; the same seed and plan replay the identical fault sequence (0 = workload seed)")
 	)
 	flag.Parse()
 
@@ -87,6 +91,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
 		os.Exit(2)
 	}
+	faultPlan, err := fault.ParsePlanWithRate(*faultPln, *faultRt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svagc:", err)
+		os.Exit(2)
+	}
+	faultSeed := *faultSd
+	if faultSeed == 0 {
+		faultSeed = *seed
+	}
+	// Each machine gets its own injector so every run replays the exact
+	// fault sequence its seed dictates, independent of sibling runs.
+	newFault := func() *fault.Injector { return fault.New(faultSeed, faultPlan) }
 
 	// cfgFor builds the JVM configuration for one workload spec, honouring
 	// the SVAGC-only threshold/placement overrides.
@@ -126,6 +142,10 @@ func main() {
 		fmt.Fprintf(w, "  moving             %d pages swapped in %d SwapVA calls; %d bytes memmoved\n",
 			p.PagesSwapped, p.SwapVACalls, p.BytesCopied)
 		fmt.Fprintf(w, "  perf               %s\n", p.String())
+		if m.FaultInjector().Active() {
+			fmt.Fprintf(w, "  faults             %d injected; %d swap retries, %d copy fallbacks, %d rollbacks, %d IPI re-sends (every GC verified)\n",
+				p.FaultsInjected, p.SwapRetries, p.SwapFallbacks, p.SwapRollbacks, p.IPIResends)
+		}
 		if m.Nodes() > 1 {
 			fmt.Fprintf(w, "  numa               %s, %d/%d remote/local accesses, %d remote B, %d remote IPIs, %d cross-node swaps\n",
 				m.Topology(), p.NUMARemote, p.NUMALocal, p.NUMARemoteBytes, p.IPIsRemote, p.CrossNodeSwaps)
@@ -148,7 +168,7 @@ func main() {
 		}
 		mc := machine.Config{Cost: cost, Sockets: *sockets, NUMAPolicy: policy,
 			NUMABind: bind, SingleDriver: true}
-		runMany(benches, *parallel, mc, *jvms, *seed, cfgFor, report)
+		runMany(benches, *parallel, mc, *jvms, *seed, newFault, cfgFor, report)
 		return
 	}
 
@@ -163,6 +183,7 @@ func main() {
 		NUMAPolicy:   policy,
 		NUMABind:     bind,
 		SingleDriver: true,
+		Fault:        newFault(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
@@ -258,6 +279,7 @@ func main() {
 // goroutine finishes first, so the stdout of `-bench A,B -parallel 8` is
 // byte-identical to `-parallel 1`.
 func runMany(benches []string, parallel int, mc machine.Config, jvms int, seed int64,
+	newFault func() *fault.Injector,
 	cfgFor func(*workloads.Spec) (jvm.Config, error),
 	report func(io.Writer, *workloads.Spec, *machine.Machine, *jvm.JVM)) {
 	type out struct {
@@ -270,7 +292,9 @@ func runMany(benches []string, parallel int, mc machine.Config, jvms int, seed i
 		if err != nil {
 			return out{err: err}
 		}
-		m, err := machine.New(mc)
+		mcfg := mc
+		mcfg.Fault = newFault()
+		m, err := machine.New(mcfg)
 		if err != nil {
 			return out{err: err}
 		}

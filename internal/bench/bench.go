@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/gc"
 	"repro/internal/jvm"
 	"repro/internal/machine"
@@ -42,6 +43,14 @@ type Options struct {
 	// multi-socket machines (see topology.ParsePolicy).
 	NUMAPolicy topology.Policy
 	NUMABind   int
+	// FaultPlan / FaultRate / FaultSeed configure deterministic fault
+	// injection on every workload machine (see fault.ParsePlanWithRate).
+	// An empty plan with a zero rate disables injection entirely; the
+	// seed defaults to the workload seed so a run is fully described by
+	// its flags.
+	FaultPlan string
+	FaultRate float64
+	FaultSeed int64
 	// OnMachine, when set, is invoked on every workload machine right
 	// after construction — the hook the CLI uses to enable tracing
 	// (machine.EnableTracing) and collect the tracers. Runs with the hook
@@ -93,6 +102,26 @@ func (o Options) parallel() int {
 		return 1
 	}
 	return o.Parallel
+}
+
+// FaultInjector builds the run's fault injector from the plan/rate/seed
+// options: nil (injection fully disabled) when the resulting plan is
+// inactive, an error when the plan spec does not parse. Each workload
+// machine gets a fresh injector so runs replay identically regardless of
+// host scheduling or cache warm order.
+func (o Options) FaultInjector() (*fault.Injector, error) {
+	if o.FaultPlan == "" && o.FaultRate == 0 {
+		return nil, nil
+	}
+	plan, err := fault.ParsePlanWithRate(o.FaultPlan, o.FaultRate)
+	if err != nil {
+		return nil, err
+	}
+	seed := o.FaultSeed
+	if seed == 0 {
+		seed = o.seed()
+	}
+	return fault.New(seed, plan), nil
 }
 
 // machineConfig is the machine.Config every workload machine is built
@@ -314,8 +343,9 @@ var (
 // cacheKey serialises every Options field that can change a runWorkload
 // result, plus the run coordinates. Checklist — when adding a field to
 // Options, decide its bucket and update TestCacheKeyCoversOptions:
-//   - Cost, GCWorkers, Seed, Sockets, NUMAPolicy, NUMABind: affect the
-//     simulated numbers → serialised below.
+//   - Cost, GCWorkers, Seed, Sockets, NUMAPolicy, NUMABind, FaultPlan,
+//     FaultRate, FaultSeed: affect the simulated numbers → serialised
+//     below.
 //   - Quick: only selects which runs a figure performs, never the outcome
 //     of one run → excluded.
 //   - OnMachine, Parallel: host-side execution policy; OnMachine bypasses
@@ -332,6 +362,8 @@ func cacheKey(opt Options, collector, bench string, factor float64, jvms int) st
 		strconv.Itoa(jvms), strconv.Itoa(opt.workers()),
 		strconv.FormatInt(opt.seed(), 10), strconv.Itoa(opt.sockets()),
 		opt.NUMAPolicy.String(), strconv.Itoa(opt.NUMABind),
+		opt.FaultPlan, strconv.FormatFloat(opt.FaultRate, 'g', -1, 64),
+		strconv.FormatInt(opt.FaultSeed, 10),
 	}, "|")
 }
 
@@ -400,7 +432,11 @@ func computeWorkload(opt Options, collector, bench string, factor float64, jvms 
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(opt.machineConfig())
+	mcfg := opt.machineConfig()
+	if mcfg.Fault, err = opt.FaultInjector(); err != nil {
+		return nil, err
+	}
+	m, err := machine.New(mcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -75,7 +75,7 @@ func Fig6Aggregation(opt Options) (*Result, error) {
 			}
 		}
 		agg := f.m.NewContext(0)
-		if err := f.k.SwapVAVec(agg, f.as, reqs, kernel.DefaultOptions()); err != nil {
+		if _, err := f.k.SwapVAVec(agg, f.as, reqs, kernel.DefaultOptions()); err != nil {
 			return nil, err
 		}
 		speedup := stats.Ratio(float64(sep.Clock.Now()), float64(agg.Clock.Now()))

@@ -18,7 +18,8 @@ import (
 // a field without classifying it here fails the test, which is the
 // checklist cacheKey's comment promises.
 var (
-	keyFields      = []string{"Cost", "GCWorkers", "Seed", "Sockets", "NUMAPolicy", "NUMABind"}
+	keyFields = []string{"Cost", "GCWorkers", "Seed", "Sockets", "NUMAPolicy", "NUMABind",
+		"FaultPlan", "FaultRate", "FaultSeed"}
 	excludedFields = []string{"Quick", "OnMachine", "Parallel"}
 )
 
@@ -65,6 +66,9 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 		{"Sockets", cacheKey(Options{Sockets: 2}, "svagc", "CryptoAES", 1.2, 1)},
 		{"NUMAPolicy", cacheKey(Options{NUMAPolicy: topology.PolicyInterleave}, "svagc", "CryptoAES", 1.2, 1)},
 		{"NUMABind", cacheKey(Options{NUMAPolicy: topology.PolicyBind, NUMABind: 1}, "svagc", "CryptoAES", 1.2, 1)},
+		{"FaultPlan", cacheKey(Options{FaultPlan: "swapva=0.1"}, "svagc", "CryptoAES", 1.2, 1)},
+		{"FaultRate", cacheKey(Options{FaultRate: 0.01}, "svagc", "CryptoAES", 1.2, 1)},
+		{"FaultSeed", cacheKey(Options{FaultSeed: 9}, "svagc", "CryptoAES", 1.2, 1)},
 	}
 	seen := map[string]string{}
 	for _, v := range variants {

@@ -59,6 +59,17 @@ type Config struct {
 	SafepointNs sim.Time
 	// BarrierNs is the per-phase synchronisation cost (default 2 µs).
 	BarrierNs sim.Time
+	// MaxSwapRetries bounds the EAGAIN-style retries of a transiently
+	// failed swap before the move degrades to byte copy (default 3).
+	MaxSwapRetries int
+	// RetryBackoffNs is the base backoff charged before the first retry;
+	// it doubles per attempt, capped at 64x (default 5 µs).
+	RetryBackoffNs sim.Time
+	// VerifyHeap runs the post-GC heap-invariant verifier (shadow digest,
+	// forwarding resolution, frame accounting) after every collection.
+	// Collections on a fault-injected machine are always verified,
+	// regardless of this setting.
+	VerifyHeap bool
 }
 
 func (c Config) workers() int {
@@ -94,6 +105,20 @@ func (c Config) barrier() sim.Time {
 		return 2 * sim.Microsecond
 	}
 	return c.BarrierNs
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxSwapRetries <= 0 {
+		return 3
+	}
+	return c.MaxSwapRetries
+}
+
+func (c Config) retryBackoff() sim.Time {
+	if c.RetryBackoffNs <= 0 {
+		return 5 * sim.Microsecond
+	}
+	return c.RetryBackoffNs
 }
 
 // Collector is a LISP2 mark-compact collector over one heap.
@@ -184,12 +209,31 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 	}
 	t3 := c.endPhase(ctx, pool, "adjust", t2)
 
+	// Shadow verification brackets compaction: capture after adjust (every
+	// forwarding address and final reference value is in place), verify
+	// after the slide. Host-side and uncharged, so simulated figures are
+	// unaffected. Fault-injected machines are always verified — that is
+	// where a bad rollback or degraded move would corrupt the heap.
+	var shadow *heap.ShadowDigest
+	if c.cfg.VerifyHeap || ctx.Fault.Active() {
+		shadow, err = c.H.CaptureShadow(from, oldTop)
+		if err != nil {
+			return nil, fmt.Errorf("lisp2: shadow capture: %w", err)
+		}
+	}
+
 	if err := c.compactPhase(pool, from, oldTop, swapMoves); err != nil {
 		return nil, fmt.Errorf("lisp2: compact: %w", err)
 	}
 	t4 := c.endPhase(ctx, pool, "compact", t3)
 
 	c.H.SetTop(newTop)
+	if shadow != nil {
+		if err := c.H.VerifyShadow(shadow, newTop); err != nil {
+			return nil, fmt.Errorf("lisp2: heap verification (%d live objects): %w",
+				shadow.Objects(), err)
+		}
+	}
 	ctx.Clock.AdvanceTo(t4)
 
 	var poolPerf sim.Perf

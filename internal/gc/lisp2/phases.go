@@ -234,7 +234,7 @@ func (q *swapQueue) flush(w *machine.Context) error {
 	if len(q.reqs) == 0 {
 		return nil
 	}
-	err := q.k.SwapVAVec(w, q.c.H.AS, q.reqs, q.opts)
+	err := q.c.flushReqs(w, q.reqs, q.opts)
 	q.reqs = q.reqs[:0]
 	return err
 }
@@ -340,7 +340,7 @@ func (c *Collector) compactPhase(pool *gc.Pool, from, top uint64, swapMoves int)
 				if err := queue.add(write(w), dest, cur, pages); err != nil {
 					return err
 				}
-			} else if err := c.H.K.SwapVA(write(w), c.H.AS, dest, cur, pages, swapOpts); err != nil {
+			} else if err := c.swapOrDegrade(write(w), dest, cur, pages, swapOpts); err != nil {
 				return err
 			}
 		default:

@@ -1,0 +1,198 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Shadow verification for compacting collectors. A collector captures a
+// ShadowDigest between its adjust and compact phases — when every live
+// object's forwarding address and final reference values are in place —
+// and verifies it after compaction. The check is host-side and uncharged:
+// it reads raw memory only, so enabling it never perturbs simulated
+// figures. It catches exactly the damage a faulty (or faultily recovered)
+// move could do: a half-moved object, a stale mark/forwarding word, bytes
+// that differ from the source, and frames leaked or double-mapped by a
+// bad PTE rollback.
+
+// shadowObj records where one live object must land and what it must
+// contain when it gets there.
+type shadowObj struct {
+	dest  uint64 // forwarding address (== source VA when not moving)
+	size  int
+	word1 uint64 // refs/class/age word, invariant across the move
+	sum   uint64 // FNV-1a over the body [src+HeaderBytes, src+size)
+}
+
+// ShadowDigest is the pre-compaction snapshot VerifyShadow checks against.
+type ShadowDigest struct {
+	from   uint64
+	objs   []shadowObj
+	frames []mem.FrameID // sorted multiset backing the whole heap
+}
+
+// Objects returns the number of live objects captured.
+func (s *ShadowDigest) Objects() int { return len(s.objs) }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// bodySum digests [va, va+n) from raw memory in bounded chunks.
+func (h *Heap) bodySum(va uint64, n int) (uint64, error) {
+	sum := uint64(fnvOffset)
+	var buf [4096]byte
+	for n > 0 {
+		c := n
+		if c > len(buf) {
+			c = len(buf)
+		}
+		if err := h.AS.RawRead(va, buf[:c]); err != nil {
+			return 0, err
+		}
+		for _, b := range buf[:c] {
+			sum = (sum ^ uint64(b)) * fnvPrime
+		}
+		va += uint64(c)
+		n -= c
+	}
+	return sum, nil
+}
+
+// rawWord reads one raw little-endian word.
+func (h *Heap) rawWord(va uint64) (uint64, error) {
+	var w [8]byte
+	if err := h.AS.RawRead(va, w[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(w[i])
+	}
+	return v, nil
+}
+
+// frameSnapshot returns the sorted multiset of frames backing the heap.
+func (h *Heap) frameSnapshot() ([]mem.FrameID, error) {
+	frames := make([]mem.FrameID, 0, (h.end-h.start)>>mem.PageShift)
+	for va := h.start; va < h.end; va += mem.PageSize {
+		f, ok := h.AS.Lookup(va)
+		if !ok {
+			return nil, fmt.Errorf("heap: page %#x unmapped", va)
+		}
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	return frames, nil
+}
+
+// CaptureShadow walks [from, top) raw and records, for every marked
+// object, its forwarding destination, metadata word, and a digest of its
+// body bytes — plus the frame multiset of the entire heap. Collectors
+// call it after the adjust phase: reference slots then already hold their
+// final values, so each body travels to its destination bit-identically.
+func (h *Heap) CaptureShadow(from, top uint64) (*ShadowDigest, error) {
+	s := &ShadowDigest{from: from}
+	cur := from
+	for cur < top {
+		w0, err := h.rawWord(cur)
+		if err != nil {
+			return nil, err
+		}
+		size := int(w0 & sizeMask)
+		if size < MinFillerBytes || cur+uint64(size) > top {
+			return nil, fmt.Errorf("heap: shadow capture: corrupt header at %#x (size %d)", cur, size)
+		}
+		if w0&fillerBit == 0 && w0&markBit != 0 {
+			w1, err := h.rawWord(cur + 8)
+			if err != nil {
+				return nil, err
+			}
+			dest, err := h.rawWord(cur + 16)
+			if err != nil {
+				return nil, err
+			}
+			if dest == 0 {
+				return nil, fmt.Errorf("heap: shadow capture: marked object %#x has no forwarding", cur)
+			}
+			sum, err := h.bodySum(cur+HeaderBytes, size-HeaderBytes)
+			if err != nil {
+				return nil, err
+			}
+			s.objs = append(s.objs, shadowObj{dest: dest, size: size, word1: w1, sum: sum})
+		}
+		cur += uint64(size)
+	}
+	var err error
+	s.frames, err = h.frameSnapshot()
+	return s, err
+}
+
+// VerifyShadow checks the post-compaction heap against a captured digest:
+// the range is walkable, every captured object sits at its forwarding
+// address with a clean header (mark and forwarding cleared, size and
+// metadata intact) and a bit-identical body, live objects tile the
+// compacted prefix in capture order, and the heap's frame multiset is
+// unchanged with no frame mapped twice.
+func (h *Heap) VerifyShadow(s *ShadowDigest, newTop uint64) error {
+	if err := h.VerifyWalkable(); err != nil {
+		return fmt.Errorf("post-GC heap not walkable: %w", err)
+	}
+	prevEnd := s.from
+	for i, o := range s.objs {
+		if o.dest < prevEnd {
+			return fmt.Errorf("post-GC: object %d at %#x overlaps previous (ends %#x)", i, o.dest, prevEnd)
+		}
+		if o.dest+uint64(o.size) > newTop {
+			return fmt.Errorf("post-GC: object %d at %#x (size %d) beyond top %#x", i, o.dest, o.size, newTop)
+		}
+		w0, err := h.rawWord(o.dest)
+		if err != nil {
+			return err
+		}
+		if int(w0&sizeMask) != o.size || w0&(markBit|fillerBit) != 0 {
+			return fmt.Errorf("post-GC: object at %#x has dirty header %#x (want clean size %d)", o.dest, w0, o.size)
+		}
+		w1, err := h.rawWord(o.dest + 8)
+		if err != nil {
+			return err
+		}
+		if w1 != o.word1 {
+			return fmt.Errorf("post-GC: object at %#x metadata %#x != captured %#x", o.dest, w1, o.word1)
+		}
+		w2, err := h.rawWord(o.dest + 16)
+		if err != nil {
+			return err
+		}
+		if w2 != 0 {
+			return fmt.Errorf("post-GC: object at %#x has unresolved forwarding %#x", o.dest, w2)
+		}
+		sum, err := h.bodySum(o.dest+HeaderBytes, o.size-HeaderBytes)
+		if err != nil {
+			return err
+		}
+		if sum != o.sum {
+			return fmt.Errorf("post-GC: object at %#x body digest %#x != captured %#x (corrupted move)", o.dest, sum, o.sum)
+		}
+		prevEnd = o.dest + uint64(o.size)
+	}
+	frames, err := h.frameSnapshot()
+	if err != nil {
+		return err
+	}
+	if len(frames) != len(s.frames) {
+		return fmt.Errorf("post-GC: heap backed by %d frames, captured %d", len(frames), len(s.frames))
+	}
+	for i := range frames {
+		if frames[i] != s.frames[i] {
+			return fmt.Errorf("post-GC: frame multiset changed (leaked or foreign frame %d)", frames[i])
+		}
+		if i > 0 && frames[i] == frames[i-1] {
+			return fmt.Errorf("post-GC: frame %d double-mapped", frames[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// shadowFixture allocates a few marked objects forwarded in place —
+// the minimal state CaptureShadow expects (post-adjust, pre-compact).
+func shadowFixture(t *testing.T) (*Heap, *machine.Context, []Object, []AllocSpec) {
+	t.Helper()
+	h, ctx := newHeap(t, 1<<20, core.DefaultPolicy())
+	var objs []Object
+	var specs []AllocSpec
+	for i := 0; i < 3; i++ {
+		spec := AllocSpec{NumRefs: 1, Payload: 100 + i*64, Class: uint16(i + 1)}
+		o, err := h.Alloc(ctx, nil, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, spec.Payload)
+		for j := range payload {
+			payload[j] = byte(i*31 + j)
+		}
+		if err := h.WritePayload(ctx, o, spec.NumRefs, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetMark(ctx, o, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetForward(ctx, o, o); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+		specs = append(specs, spec)
+	}
+	return h, ctx, objs, specs
+}
+
+// clearAll performs the in-place "compaction": clean headers, no moves.
+func clearAll(t *testing.T, h *Heap, ctx *machine.Context, objs []Object, specs []AllocSpec) {
+	t.Helper()
+	for i, o := range objs {
+		if err := h.ClearGCBits(ctx, o, specs[i].TotalBytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestShadowRoundTrip(t *testing.T) {
+	h, ctx, objs, specs := shadowFixture(t)
+	s, err := h.CaptureShadow(h.Start(), h.Top())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objects() != len(objs) {
+		t.Fatalf("captured %d objects, want %d", s.Objects(), len(objs))
+	}
+	clearAll(t, h, ctx, objs, specs)
+	if err := h.VerifyShadow(s, h.Top()); err != nil {
+		t.Fatalf("clean in-place compaction rejected: %v", err)
+	}
+}
+
+// TestShadowCatchesCorruption flips one property per case after capture
+// and checks the verifier names the damage.
+func TestShadowCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, h *Heap, ctx *machine.Context, objs []Object, specs []AllocSpec)
+		want    string
+	}{
+		{
+			name: "payload byte flipped",
+			corrupt: func(t *testing.T, h *Heap, ctx *machine.Context, objs []Object, specs []AllocSpec) {
+				va := objs[1].VA() + HeaderBytes + 8 + 5 // past the ref slot, into payload
+				var b [1]byte
+				if err := h.AS.RawRead(va, b[:]); err != nil {
+					t.Fatal(err)
+				}
+				b[0] ^= 0x40
+				if err := h.AS.RawWrite(va, b[:]); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "body digest",
+		},
+		{
+			name: "mark bit left set",
+			corrupt: func(t *testing.T, h *Heap, ctx *machine.Context, objs []Object, specs []AllocSpec) {
+				if err := h.SetMark(ctx, objs[2], true); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "dirty header",
+		},
+		{
+			name: "forwarding left unresolved",
+			corrupt: func(t *testing.T, h *Heap, ctx *machine.Context, objs []Object, specs []AllocSpec) {
+				if err := h.SetForward(ctx, objs[0], objs[0]); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "unresolved forwarding",
+		},
+		{
+			name: "metadata word changed",
+			corrupt: func(t *testing.T, h *Heap, ctx *machine.Context, objs []Object, specs []AllocSpec) {
+				var w [8]byte
+				w[0] = 0xff
+				if err := h.AS.RawWrite(objs[1].VA()+8, w[:]); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "metadata",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h, ctx, objs, specs := shadowFixture(t)
+			s, err := h.CaptureShadow(h.Start(), h.Top())
+			if err != nil {
+				t.Fatal(err)
+			}
+			clearAll(t, h, ctx, objs, specs)
+			c.corrupt(t, h, ctx, objs, specs)
+			err = h.VerifyShadow(s, h.Top())
+			if err == nil {
+				t.Fatal("verifier accepted a corrupted heap")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestShadowCaptureRequiresForwarding: a marked object with a null
+// forwarding word is a collector bug CaptureShadow must refuse.
+func TestShadowCaptureRequiresForwarding(t *testing.T) {
+	h, ctx := newHeap(t, 1<<20, core.DefaultPolicy())
+	o, err := h.Alloc(ctx, nil, AllocSpec{Payload: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetMark(ctx, o, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CaptureShadow(h.Start(), h.Top()); err == nil ||
+		!strings.Contains(err.Error(), "no forwarding") {
+		t.Fatalf("capture of marked-but-unforwarded object: %v", err)
+	}
+}

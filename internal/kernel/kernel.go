@@ -92,7 +92,44 @@ var (
 	ErrMisaligned = errors.New("kernel: address not page-aligned")
 	ErrBadLength  = errors.New("kernel: page count must be positive")
 	ErrNotMapped  = errors.New("kernel: page not mapped")
+	// ErrAgain is the EAGAIN-style transient failure: the request was
+	// rolled back and retrying the identical call may succeed.
+	ErrAgain = errors.New("kernel: transient failure, retry (EAGAIN)")
+	// ErrPoisoned means a frame in the request is ECC-bad: the kernel
+	// refuses to remap it, retrying is futile, and callers must degrade to
+	// the byte-copy path.
+	ErrPoisoned = errors.New("kernel: frame poisoned (uncorrectable ECC)")
 )
+
+// VAError wraps a kernel error with the faulting virtual address, so
+// retry policies and tests can extract the address with errors.As while
+// errors.Is still matches the underlying sentinel.
+type VAError struct {
+	VA  uint64
+	Err error
+}
+
+func (e *VAError) Error() string { return fmt.Sprintf("%v: va %#x", e.Err, e.VA) }
+
+func (e *VAError) Unwrap() error { return e.Err }
+
+// FaultingVA extracts the faulting virtual address from a kernel error
+// chain, if any frame of it carries one.
+func FaultingVA(err error) (uint64, bool) {
+	var ve *VAError
+	if errors.As(err, &ve) {
+		return ve.VA, true
+	}
+	return 0, false
+}
+
+// Degradable reports whether a swap failure may be resolved by degrading
+// to the byte-copy compaction path: exhausted transient retries and
+// poisoned frames degrade; structural errors (unmapped pages, misaligned
+// arguments) are caller bugs and must propagate.
+func Degradable(err error) bool {
+	return errors.Is(err, ErrAgain) || errors.Is(err, ErrPoisoned)
+}
 
 // Kernel is the OS instance for one machine.
 type Kernel struct {
@@ -140,8 +177,11 @@ func (k *Kernel) getPTE(ctx *machine.Context, as *mmu.AddressSpace, va uint64,
 }
 
 func checkArgs(va1, va2 uint64, pages int) error {
-	if va1&mem.PageMask != 0 || va2&mem.PageMask != 0 {
-		return fmt.Errorf("%w: va1=%#x va2=%#x", ErrMisaligned, va1, va2)
+	if va1&mem.PageMask != 0 {
+		return &VAError{VA: va1, Err: ErrMisaligned}
+	}
+	if va2&mem.PageMask != 0 {
+		return &VAError{VA: va2, Err: ErrMisaligned}
 	}
 	if pages <= 0 {
 		return fmt.Errorf("%w: %d", ErrBadLength, pages)

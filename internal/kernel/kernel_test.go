@@ -227,12 +227,19 @@ func TestAggregationSavesSyscalls(t *testing.T) {
 	}
 
 	cVec := f.m.NewContext(0)
-	if err := f.k.SwapVAVec(cVec, f.as, reqs, DefaultOptions()); err != nil {
+	total, err := f.k.SwapVAVec(cVec, f.as, reqs, DefaultOptions())
+	if err != nil {
 		t.Fatal(err)
+	}
+	if total != n*pages {
+		t.Errorf("total swapped = %d pages, want %d", total, n*pages)
 	}
 	for i, r := range reqs {
 		if !bytes.Equal(f.snapshot(t, r.VA1, pages), want[i]) {
 			t.Fatalf("request %d not applied", i)
+		}
+		if r.Swapped != r.Pages {
+			t.Errorf("request %d: Swapped = %d, want %d", i, r.Swapped, r.Pages)
 		}
 	}
 	if cVec.Perf.Syscalls != 1 {
@@ -271,7 +278,7 @@ func TestSwapVAVecRejectsInvalidVectorUpFront(t *testing.T) {
 		{VA1: a + 1, VA2: b, Pages: 1}, // misaligned
 	}
 	before := f.ctx.Clock.Now()
-	err := f.k.SwapVAVec(f.ctx, f.as, reqs, DefaultOptions())
+	_, err := f.k.SwapVAVec(f.ctx, f.as, reqs, DefaultOptions())
 	if !errors.Is(err, ErrMisaligned) {
 		t.Fatalf("err = %v", err)
 	}
@@ -300,7 +307,7 @@ func TestSwapVAVecAccountsLikeSwapVA(t *testing.T) {
 	// Invalid: both entry points reject without charging.
 	c1, c2 := f.m.NewContext(0), f.m.NewContext(0)
 	e1 := f.k.SwapVA(c1, f.as, a+1, b, 1, DefaultOptions())
-	e2 := f.k.SwapVAVec(c2, f.as, []SwapReq{{VA1: a + 1, VA2: b, Pages: 1}}, DefaultOptions())
+	_, e2 := f.k.SwapVAVec(c2, f.as, []SwapReq{{VA1: a + 1, VA2: b, Pages: 1}}, DefaultOptions())
 	if !errors.Is(e1, ErrMisaligned) || !errors.Is(e2, ErrMisaligned) {
 		t.Fatalf("errs = %v, %v", e1, e2)
 	}
@@ -316,7 +323,7 @@ func TestSwapVAVecAccountsLikeSwapVA(t *testing.T) {
 	if err := f.k.SwapVA(c3, f.as, a, b, 2, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.k.SwapVAVec(c4, f.as, []SwapReq{{VA1: a, VA2: b, Pages: 2}}, DefaultOptions()); err != nil {
+	if _, err := f.k.SwapVAVec(c4, f.as, []SwapReq{{VA1: a, VA2: b, Pages: 2}}, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if *c3.Perf != *c4.Perf {
@@ -339,7 +346,7 @@ func TestSwapVAVecNoopSkipsFlush(t *testing.T) {
 		{{VA1: a, VA2: a, Pages: 1}, {VA1: a, VA2: a, Pages: 1}},
 	} {
 		c := f.m.NewContext(0)
-		if err := f.k.SwapVAVec(c, f.as, reqs, DefaultOptions()); err != nil {
+		if _, err := f.k.SwapVAVec(c, f.as, reqs, DefaultOptions()); err != nil {
 			t.Fatalf("reqs %v: %v", reqs, err)
 		}
 		if c.Perf.Shootdowns != 0 || c.Perf.IPIsSent != 0 {
@@ -354,7 +361,7 @@ func TestSwapVAVecNoopSkipsFlush(t *testing.T) {
 	// Sanity: a vector that does apply still flushes exactly once.
 	b, _ := f.as.MapRegion(1)
 	c := f.m.NewContext(0)
-	if err := f.k.SwapVAVec(c, f.as,
+	if _, err := f.k.SwapVAVec(c, f.as,
 		[]SwapReq{{VA1: a, VA2: a, Pages: 1}, {VA1: a, VA2: b, Pages: 1}},
 		DefaultOptions()); err != nil {
 		t.Fatal(err)
@@ -384,9 +391,19 @@ func TestSwapVAVecStopsAtFirstApplyError(t *testing.T) {
 		{VA1: b, VA2: a, Pages: 1},    // must not run
 	}
 	c := f.m.NewContext(0)
-	err := f.k.SwapVAVec(c, f.as, reqs, DefaultOptions())
+	total, err := f.k.SwapVAVec(c, f.as, reqs, DefaultOptions())
 	if !errors.Is(err, ErrNotMapped) {
 		t.Fatalf("err = %v", err)
+	}
+	if total != 1 {
+		t.Errorf("total swapped = %d pages, want 1 (only the first request)", total)
+	}
+	if reqs[0].Swapped != 1 || reqs[1].Swapped != 0 || reqs[2].Swapped != 0 {
+		t.Errorf("Swapped fields = %d,%d,%d, want 1,0,0",
+			reqs[0].Swapped, reqs[1].Swapped, reqs[2].Swapped)
+	}
+	if va, ok := FaultingVA(err); !ok || va != hole {
+		t.Errorf("FaultingVA = %#x,%v, want %#x,true", va, ok, hole)
 	}
 	got := make([]byte, 1)
 	f.as.RawRead(a, got)

@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"fmt"
-
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
@@ -21,7 +19,7 @@ import (
 // mapped. TLB coherence follows the caller's flush policy, plus optional
 // per-slot invlpg flushes (Options.PerPageFlush).
 func (k *Kernel) swapOverlapBody(ctx *machine.Context, as *mmu.AddressSpace,
-	va1, va2 uint64, pages int, opts Options) error {
+	va1, va2 uint64, pages int, opts Options, tx *txn) error {
 
 	if va1 > va2 {
 		va1, va2 = va2, va1 // pairwise swapping is symmetric in its operands
@@ -42,12 +40,12 @@ func (k *Kernel) swapOverlapBody(ctx *machine.Context, as *mmu.AddressSpace,
 			return err
 		}
 		for idx := findSwapPlace(cur, d, pages); idx != cur; idx = findSwapPlace(idx, d, pages) {
-			frameTemp, err = k.exchangeFrame(ctx, as, va1, idx, frameTemp, &pc, opts)
+			frameTemp, err = k.exchangeFrame(ctx, as, va1, idx, frameTemp, &pc, opts, tx)
 			if err != nil {
 				return err
 			}
 		}
-		if _, err := k.exchangeFrame(ctx, as, va1, cur, frameTemp, &pc, opts); err != nil {
+		if _, err := k.exchangeFrame(ctx, as, va1, cur, frameTemp, &pc, opts, tx); err != nil {
 			return err
 		}
 	}
@@ -73,6 +71,7 @@ func (k *Kernel) loadFrame(ctx *machine.Context, as *mmu.AddressSpace,
 	if err != nil {
 		return mem.NilFrame, err
 	}
+	stallPTELock(ctx, va)
 	ctx.Clock.Advance(ctx.Cost.PTELockNs)
 	pt.Lock()
 	defer pt.Unlock()
@@ -86,13 +85,18 @@ func (k *Kernel) loadFrame(ctx *machine.Context, as *mmu.AddressSpace,
 // exchangeFrame stores frame into slot idx and returns the slot's previous
 // frame, flushing the slot's translation on the local core (invlpg).
 func (k *Kernel) exchangeFrame(ctx *machine.Context, as *mmu.AddressSpace,
-	base uint64, idx int, frame mem.FrameID, pc *mmu.PMDCache, opts Options) (mem.FrameID, error) {
+	base uint64, idx int, frame mem.FrameID, pc *mmu.PMDCache, opts Options,
+	tx *txn) (mem.FrameID, error) {
 
 	va := base + uint64(idx)<<mem.PageShift
+	if err := fireTransient(ctx, va); err != nil {
+		return mem.NilFrame, err
+	}
 	pt, i, err := k.getPTE(ctx, as, va, pc, opts.PMDCaching)
 	if err != nil {
 		return mem.NilFrame, err
 	}
+	stallPTELock(ctx, va)
 	ctx.Clock.Advance(ctx.Cost.PTELockNs)
 	pt.Lock()
 	e := pt.Entry(i)
@@ -101,7 +105,12 @@ func (k *Kernel) exchangeFrame(ctx *machine.Context, as *mmu.AddressSpace,
 		return mem.NilFrame, notMapped(va)
 	}
 	prev := e.Frame
+	if err := checkPoison(ctx, frame, prev, va, va); err != nil {
+		pt.Unlock()
+		return mem.NilFrame, err
+	}
 	e.Frame = frame
+	tx.noteSlot(pt, i, prev)
 	ctx.Clock.Advance(ctx.Cost.PTEUpdateNs)
 	if ctx.NUMAView != nil {
 		ctx.Clock.Advance(ctx.NUMAView.CrossNodeStoreNs(
@@ -115,7 +124,7 @@ func (k *Kernel) exchangeFrame(ctx *machine.Context, as *mmu.AddressSpace,
 }
 
 func notMapped(va uint64) error {
-	return fmt.Errorf("%w: va %#x", ErrNotMapped, va)
+	return &VAError{VA: va, Err: ErrNotMapped}
 }
 
 func gcd(a, b int) int {

@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"fmt"
-
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
@@ -14,10 +12,13 @@ import (
 // loads through either range observe the other range's former contents,
 // with zero bytes copied. The TLB-coherence policy is selected by opts.
 //
-// Invalid arguments are rejected before any cost is charged. A failure
-// discovered mid-swap (an unmapped page) aborts after some PTEs may
-// already have been exchanged; the trailing flush still runs so the TLBs
-// stay coherent with whatever was applied.
+// The call is transactional: arguments are validated before any cost is
+// charged, and a failure discovered mid-commit (an unmapped page, an
+// injected transient fault, a poisoned frame) rolls every exchanged PTE
+// back, so on error the mapping is exactly the pre-call one and on success
+// all pages swapped. The trailing flush runs whenever any PTE was touched
+// — even transiently before a rollback — so no core can keep a stale
+// translation cached from the aborted window.
 //
 // When the two ranges overlap and opts.Overlap is set, the call dispatches
 // to the cycle-chasing Algorithm 2 (see SwapOverlap); otherwise overlapping
@@ -36,11 +37,15 @@ func (k *Kernel) SwapVA(ctx *machine.Context, as *mmu.AddressSpace,
 	ctx.Perf.SwapVACalls++
 	var err error
 	if va1 != va2 { // swapping a range with itself is a no-op
-		err = k.applySwap(ctx, as, va1, va2, pages, opts)
+		var tx txn
+		var touched bool
+		touched, err = k.applySwap(ctx, as, va1, va2, pages, opts, &tx)
 		if err == nil {
 			ctx.Perf.PagesSwapped += uint64(pages)
 		}
-		k.flush(ctx, as, opts.Flush)
+		if touched {
+			k.flush(ctx, as, opts.Flush)
+		}
 	}
 	ctx.Trace.Emit(trace.KindSyscall, "SwapVA", start, ctx.Clock.Now()-start,
 		uint64(pages), 0)
@@ -51,25 +56,35 @@ func (k *Kernel) SwapVA(ctx *machine.Context, as *mmu.AddressSpace,
 type SwapReq struct {
 	VA1, VA2 uint64
 	Pages    int
+	// Swapped is an out-parameter set by SwapVAVec: the pages actually
+	// exchanged for this request. Requests are transactional, so it is
+	// either 0 (not applied, or applied and rolled back) or Pages —
+	// matching the syscall's per-request return-count semantics.
+	Swapped int
 }
 
 // SwapVAVec performs many swaps under a single system-call entry and a
 // single trailing TLB flush — the aggregation optimisation of Fig. 5(b).
 // The whole vector is validated before anything is charged or applied, so
 // a request that SwapVA would reject for free is also free here (the two
-// entry points account identically). Valid requests are applied in order;
-// a failure discovered mid-application (an unmapped page) aborts the call
-// after the preceding requests have taken effect, with the flush still
-// run so the TLBs stay coherent with whatever was applied. When no
-// request changes any mapping (an empty vector, or only VA1 == VA2
-// no-ops), the trailing flush is skipped entirely: nothing was remapped,
-// so broadcasting a shootdown would charge every core for nothing.
+// entry points account identically). Valid requests are applied in order,
+// each transactionally: a failure discovered mid-application (an unmapped
+// page, an injected fault) rolls the failing request's PTEs back and
+// aborts the call, leaving the preceding requests in effect. The returned
+// total and the per-request Swapped fields report exactly which pages
+// took effect, so callers can resume after the failing request. The
+// trailing flush runs whenever any PTE was touched (even transiently
+// before a rollback); when nothing was (an empty vector, only VA1 == VA2
+// no-ops, or a first request that failed validation-free), it is skipped
+// entirely — nothing was remapped, so broadcasting a shootdown would
+// charge every core for nothing.
 func (k *Kernel) SwapVAVec(ctx *machine.Context, as *mmu.AddressSpace,
-	reqs []SwapReq, opts Options) error {
+	reqs []SwapReq, opts Options) (int, error) {
 
-	for _, r := range reqs {
-		if err := checkArgs(r.VA1, r.VA2, r.Pages); err != nil {
-			return err
+	for i := range reqs {
+		reqs[i].Swapped = 0
+		if err := checkArgs(reqs[i].VA1, reqs[i].VA2, reqs[i].Pages); err != nil {
+			return 0, err
 		}
 	}
 	start := ctx.Clock.Now()
@@ -77,17 +92,22 @@ func (k *Kernel) SwapVAVec(ctx *machine.Context, as *mmu.AddressSpace,
 	ctx.Perf.Syscalls++
 	ctx.Perf.SwapVACalls++
 	applied := false
+	total := 0
 	var firstErr error
-	for _, r := range reqs {
+	var tx txn // reused across requests: one undo log per syscall
+	for i := range reqs {
+		r := &reqs[i]
 		if r.VA1 == r.VA2 {
 			continue
 		}
-		// Even a failed body may have exchanged PTEs before erroring, so
-		// it counts as applied for flush purposes.
-		applied = true
-		if firstErr = k.applySwap(ctx, as, r.VA1, r.VA2, r.Pages, opts); firstErr != nil {
+		touched, err := k.applySwap(ctx, as, r.VA1, r.VA2, r.Pages, opts, &tx)
+		applied = applied || touched
+		if err != nil {
+			firstErr = err
 			break
 		}
+		r.Swapped = r.Pages
+		total += r.Pages
 		ctx.Perf.PagesSwapped += uint64(r.Pages)
 	}
 	if applied {
@@ -95,27 +115,34 @@ func (k *Kernel) SwapVAVec(ctx *machine.Context, as *mmu.AddressSpace,
 	}
 	ctx.Trace.Emit(trace.KindSyscall, "SwapVAVec", start,
 		ctx.Clock.Now()-start, uint64(len(reqs)), 0)
-	return firstErr
+	return total, firstErr
 }
 
 // applySwap dispatches one validated, non-degenerate request to the
 // overlap-aware or pairwise body and records the request-level event the
-// swap-size histogram is built from.
+// swap-size histogram is built from. On failure the undo log is replayed,
+// restoring the request's pre-call mapping. The returned touched flag
+// reports whether any PTE changed even transiently — the caller's cue
+// that a TLB flush is still required after a rollback.
 func (k *Kernel) applySwap(ctx *machine.Context, as *mmu.AddressSpace,
-	va1, va2 uint64, pages int, opts Options) error {
+	va1, va2 uint64, pages int, opts Options, tx *txn) (bool, error) {
 
+	tx.reset()
 	start := ctx.Clock.Now()
 	var err error
 	if opts.Overlap && rangesOverlap(va1, va2, pages) {
-		err = k.swapOverlapBody(ctx, as, va1, va2, pages, opts)
+		err = k.swapOverlapBody(ctx, as, va1, va2, pages, opts, tx)
 	} else {
-		err = k.swapBody(ctx, as, va1, va2, pages, opts)
+		err = k.swapBody(ctx, as, va1, va2, pages, opts, tx)
 	}
 	if err == nil {
 		ctx.Trace.Emit(trace.KindSwapReq, "swap-req", start,
 			ctx.Clock.Now()-start, uint64(pages), va1)
+		return true, nil
 	}
-	return err
+	touched := len(tx.ops) > 0
+	k.rollback(ctx, as, tx, va1)
+	return touched, err
 }
 
 // swapBody is the PTE-exchange loop of Algorithm 1 (lines 12–18): for each
@@ -124,13 +151,16 @@ func (k *Kernel) applySwap(ctx *machine.Context, as *mmu.AddressSpace,
 // stretches where both cursors sit on 2 MiB boundaries with at least a
 // full span remaining are exchanged as whole PMD entries instead.
 func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
-	va1, va2 uint64, pages int, opts Options) error {
+	va1, va2 uint64, pages int, opts Options, tx *txn) error {
 
 	const hugePages = int(mmu.PMDSpan >> mem.PageShift)
 	var pc1, pc2 mmu.PMDCache
 	for i := 0; i < pages; {
 		off := uint64(i) << mem.PageShift
 		a, b := va1+off, va2+off
+		if err := fireTransient(ctx, a); err != nil {
+			return err
+		}
 		if opts.HugeSwap && pages-i >= hugePages &&
 			a%mmu.PMDSpan == 0 && b%mmu.PMDSpan == 0 {
 			// One pointer swap relocates 512 pages: charge two walks to
@@ -141,6 +171,7 @@ func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
 			if err := as.SwapPMDEntries(a, b); err != nil {
 				return err
 			}
+			tx.notePMD(a, b)
 			ctx.Perf.PMDSwaps++
 			ctx.Trace.Emit(trace.KindSwapPMD, "pmd-swap", t0,
 				ctx.Clock.Now()-t0, a, b)
@@ -158,7 +189,7 @@ func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
 		if err != nil {
 			return err
 		}
-		if err := swapPTEs(ctx, pt1, idx1, pt2, idx2, a, b); err != nil {
+		if err := swapPTEs(ctx, pt1, idx1, pt2, idx2, a, b, tx); err != nil {
 			return err
 		}
 		if ctx.Trace != nil {
@@ -178,8 +209,9 @@ func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
 // consistent table order, so two swaps could acquire the same pair of
 // tables in opposite (ABBA) order and deadlock.
 func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
-	pt2 *mmu.PTETable, idx2 int, va1, va2 uint64) error {
+	pt2 *mmu.PTETable, idx2 int, va1, va2 uint64, tx *txn) error {
 
+	stallPTELock(ctx, va1)
 	ctx.Clock.Advance(2 * ctx.Cost.PTELockNs)
 	lockStart := ctx.Clock.Now()
 	if pt1 == pt2 {
@@ -197,12 +229,16 @@ func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 	}
 	e1, e2 := pt1.Entry(idx1), pt2.Entry(idx2)
 	if !e1.Present {
-		return fmt.Errorf("%w: va %#x", ErrNotMapped, va1)
+		return notMapped(va1)
 	}
 	if !e2.Present {
-		return fmt.Errorf("%w: va %#x", ErrNotMapped, va2)
+		return notMapped(va2)
+	}
+	if err := checkPoison(ctx, e1.Frame, e2.Frame, va1, va2); err != nil {
+		return err
 	}
 	e1.Frame, e2.Frame = e2.Frame, e1.Frame
+	tx.notePair(pt1, idx1, pt2, idx2)
 	ctx.Clock.Advance(2 * ctx.Cost.PTEUpdateNs)
 	if ctx.NUMAView != nil {
 		// Frames on different nodes: each of the two dirty PTE stores

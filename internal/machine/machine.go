@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/sim"
@@ -43,6 +44,12 @@ type Config struct {
 	NUMAPolicy topology.Policy
 	// NUMABind is the target node of topology.PolicyBind.
 	NUMABind int
+
+	// Fault, when non-nil, arms the deterministic fault-injection plane:
+	// every context created on the machine consults it at the injectable
+	// sites (PTE locks, IPI acks, swap bodies, frame ECC, interconnect).
+	// Nil (or a zero-rate plan) is the default healthy machine.
+	Fault *fault.Injector
 
 	// SingleDriver declares that exactly one host goroutine will drive
 	// the machine (the harness's virtual-parallelism contract: all
@@ -76,6 +83,10 @@ type Machine struct {
 
 	// tracer, when non-nil, hands each new context an event buffer.
 	tracer *trace.Tracer
+
+	// fault, when non-nil, is the armed fault-injection plane shared by
+	// every context.
+	fault *fault.Injector
 }
 
 // New builds a machine from cfg.
@@ -121,6 +132,7 @@ func New(cfg Config) (*Machine, error) {
 		topo:       topo,
 		numaPolicy: cfg.NUMAPolicy,
 		numaBind:   cfg.NUMABind,
+		fault:      cfg.Fault,
 	}
 	m.Phys.SetNodes(topo.Sockets())
 	for i := range m.cores {
@@ -208,6 +220,10 @@ func (m *Machine) EnableTracing(eventsPerContext int) *trace.Tracer {
 // Tracer returns the installed tracer, or nil when tracing is disabled.
 func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
 
+// FaultInjector returns the armed fault plane, or nil on a healthy
+// machine.
+func (m *Machine) FaultInjector() *fault.Injector { return m.fault }
+
 // Context is the execution context of one simulated thread: its clock and
 // counters, the core it currently runs on, and the charged-memory-access
 // environment derived from them. Contexts are cheap; collectors create one
@@ -226,6 +242,10 @@ type Context struct {
 	// the kernel uses it directly for remote walk and cross-node swap
 	// surcharges.
 	NUMAView *NUMAView
+	// Fault is the machine's fault-injection plane; nil on a healthy
+	// machine. All fault.Injector methods are nil-safe, so sites query it
+	// without guarding.
+	Fault *fault.Injector
 }
 
 // Socket returns the socket the context's core belongs to.
@@ -237,7 +257,7 @@ func (m *Machine) NewContext(coreID int) *Context {
 		panic(fmt.Sprintf("machine: core %d out of range [0,%d)", coreID, len(m.cores)))
 	}
 	core := m.cores[coreID]
-	ctx := &Context{M: m, Core: core}
+	ctx := &Context{M: m, Core: core, Fault: m.fault}
 	bus := &m.buses[core.Socket]
 	ctx.Env = mmu.Env{
 		Clock:   sim.NewClock(0),
@@ -252,7 +272,8 @@ func (m *Machine) NewContext(coreID int) *Context {
 		ctx.Trace = m.tracer.NewBuffer(coreID)
 	}
 	if !m.topo.Flat() {
-		ctx.NUMAView = &NUMAView{m: m, socket: core.Socket, perf: ctx.Perf, buf: ctx.Trace}
+		ctx.NUMAView = &NUMAView{m: m, socket: core.Socket, perf: ctx.Perf,
+			buf: ctx.Trace, inj: m.fault}
 		ctx.Env.NUMA = ctx.NUMAView
 	}
 	return ctx
@@ -333,6 +354,42 @@ func (ctx *Context) ShootdownAll(asid uint32) {
 	ctx.Perf.Shootdowns++
 	ctx.Perf.IPIsSent += uint64(m.NumCores() - 1)
 	ctx.Perf.IPIsRemote += uint64(inter)
+	if ctx.Fault.Enabled(trace.FaultIPIAck) {
+		ctx.shootdownAckWait(m.NumCores() - 1)
+	}
 	ctx.Trace.Emit(trace.KindShootdown, "tlb-shootdown", start,
 		ctx.Clock.Now()-start, uint64(m.NumCores()-1), uint64(inter))
+}
+
+// shootdownAckWait models dropped shootdown-IPI acknowledgements: each of
+// the targets rolls the injector; an unacked target makes the initiator
+// wait out an ack timeout (doubling per round — bounded backoff) and
+// re-send. After MaxIPIResends rounds the kernel proceeds regardless: the
+// invalidation itself was delivered above, only the ack bookkeeping is
+// lost, so correctness is preserved and the cost shows up as pause time.
+func (ctx *Context) shootdownAckWait(targets int) {
+	inj := ctx.Fault
+	pending := 0
+	for i := 0; i < targets; i++ {
+		if inj.Fire(trace.FaultIPIAck) {
+			pending++
+		}
+	}
+	for attempt := 0; pending > 0 && attempt < inj.MaxIPIResends(); attempt++ {
+		t0 := ctx.Clock.Now()
+		wait := inj.AckTimeoutNs() * sim.Time(int64(1)<<uint(attempt))
+		ctx.Clock.Advance(wait)
+		ctx.Perf.IPIsSent += uint64(pending)
+		ctx.Perf.IPIResends += uint64(pending)
+		ctx.Perf.FaultsInjected += uint64(pending)
+		ctx.Trace.Emit(trace.KindFault, "fault:ipi-ack-timeout", t0, wait,
+			uint64(trace.FaultIPIAck), uint64(pending))
+		still := 0
+		for i := 0; i < pending; i++ {
+			if inj.Fire(trace.FaultIPIAck) {
+				still++
+			}
+		}
+		pending = still
+	}
 }

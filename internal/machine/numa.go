@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -25,6 +26,20 @@ type NUMAView struct {
 	socket int
 	perf   *sim.Perf
 	buf    *trace.Buffer
+	inj    *fault.Injector
+}
+
+// brownoutFactor rolls the interconnect-brownout site for one remote
+// access: 1 for a healthy crossing, the injector's degradation multiplier
+// for a browned-out one. This runs on the per-word charge path, so like
+// ObserveNUMA it only bumps fixed-size counters — no events.
+func (v *NUMAView) brownoutFactor() float64 {
+	if !v.inj.Enabled(trace.FaultInterconnect) || !v.inj.Fire(trace.FaultInterconnect) {
+		return 1
+	}
+	v.perf.FaultsInjected++
+	v.buf.ObserveFault(trace.FaultInterconnect)
+	return v.inj.BrownoutFactor()
 }
 
 // nodeOf resolves a physical address to the NUMA node of its frame.
@@ -45,7 +60,8 @@ func (v *NUMAView) LatencyAt(pa uint64) float64 {
 		return lat
 	}
 	topo := v.m.topo
-	lat += float64(topo.RemoteLatNs()) * topo.LinkLatencyFactor(v.m.TotalStreams())
+	lat += float64(topo.RemoteLatNs()) * topo.LinkLatencyFactor(v.m.TotalStreams()) *
+		v.brownoutFactor()
 	v.perf.NUMARemote++
 	v.buf.ObserveNUMA(true, 0)
 	return lat
@@ -63,7 +79,7 @@ func (v *NUMAView) BWAt(pa uint64, n int) float64 {
 		v.buf.ObserveNUMA(false, 0)
 		return bw
 	}
-	if link := v.m.topo.LinkGBs(v.m.TotalStreams()); link < bw {
+	if link := v.m.topo.LinkGBs(v.m.TotalStreams()) / v.brownoutFactor(); link < bw {
 		bw = link
 	}
 	v.perf.NUMARemote++
@@ -119,5 +135,5 @@ func (v *NUMAView) CrossNodeStoreNs(paIn, paOut uint64) sim.Time {
 func (v *NUMAView) crossingNs() sim.Time {
 	topo := v.m.topo
 	return sim.Time(float64(topo.RemoteLatNs()) *
-		topo.LinkLatencyFactor(v.m.TotalStreams()))
+		topo.LinkLatencyFactor(v.m.TotalStreams()) * v.brownoutFactor())
 }

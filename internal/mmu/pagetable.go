@@ -49,15 +49,13 @@ type PTETable struct {
 	ptes [entriesPerLevel]PTE
 }
 
-// tableSeq hands out PTETable allocation IDs, starting at 1.
-var tableSeq atomic.Uint64
-
-// NewPTETable allocates an empty PTE table with a fresh allocation ID.
-func NewPTETable() *PTETable { return &PTETable{id: tableSeq.Add(1)} }
-
-// ID returns the table's allocation ID. IDs are unique per table for the
-// lifetime of the process and travel with the table when SwapPMDEntries
-// moves it, which makes them a deadlock-safe global lock order.
+// ID returns the table's allocation ID. IDs are unique per address space
+// for the lifetime of the process and travel with the table when
+// SwapPMDEntries moves it, which makes them a deadlock-safe lock order
+// (a page-table operation only ever locks tables of one address space).
+// They are handed out deterministically — the n'th table an address space
+// creates always gets ID n — so traces replay bit-identically across
+// processes and across machines within one process.
 func (t *PTETable) ID() uint64 { return t.id }
 
 // Lock acquires the table's PTE lock (pte_offset_map_lock).
@@ -85,6 +83,10 @@ type pud struct {
 
 type pgd struct {
 	puds [entriesPerLevel]*pud
+	// tableSeq hands out PTETable allocation IDs, starting at 1. Creation
+	// runs under the address-space mapping lock, so a plain counter is
+	// enough, and per-space numbering keeps the IDs replay-deterministic.
+	tableSeq uint64
 }
 
 func pgdIndex(va uint64) int { return int(va>>pgdShift) & levelMask }
@@ -123,7 +125,8 @@ func (r *pgd) walk(va uint64, create bool) *PTETable {
 		if !create {
 			return nil
 		}
-		pt = NewPTETable()
+		r.tableSeq++
+		pt = &PTETable{id: r.tableSeq}
 		pm.tables[pmdIndex(va)].Store(pt)
 	}
 	return pt

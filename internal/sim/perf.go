@@ -38,6 +38,13 @@ type Perf struct {
 	PMDSwaps     uint64 // 2 MiB huge-swap operations (512 pages each)
 	MemmoveCalls uint64
 	BytesCopied  uint64 // bytes physically moved by Memmove
+
+	// Fault plane (zero unless an injector is armed).
+	FaultsInjected uint64 // faults that fired, all sites
+	SwapRetries    uint64 // EAGAIN-style swap retries by the GC
+	SwapFallbacks  uint64 // per-object degradations to byte copy
+	SwapRollbacks  uint64 // transactional undos of partial swaps
+	IPIResends     uint64 // shootdown IPIs re-sent after ack timeouts
 }
 
 // Add accumulates other into p.
@@ -65,6 +72,11 @@ func (p *Perf) Add(other *Perf) {
 	p.PMDSwaps += other.PMDSwaps
 	p.MemmoveCalls += other.MemmoveCalls
 	p.BytesCopied += other.BytesCopied
+	p.FaultsInjected += other.FaultsInjected
+	p.SwapRetries += other.SwapRetries
+	p.SwapFallbacks += other.SwapFallbacks
+	p.SwapRollbacks += other.SwapRollbacks
+	p.IPIResends += other.IPIResends
 }
 
 // Reset zeroes all counters.

@@ -50,7 +50,7 @@ func kernelSuite(t *testing.T, cfg machine.Config) (sim.Time, sim.Perf) {
 		off := uint64(16+2*i) << 12
 		reqs = append(reqs, kernel.SwapReq{VA1: va1 + off, VA2: va2 + off, Pages: 2})
 	}
-	if err := k.SwapVAVec(ctx, as, reqs, kernel.DefaultOptions()); err != nil {
+	if _, err := k.SwapVAVec(ctx, as, reqs, kernel.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if err := k.SwapVA(ctx, as, va1, va1+8<<12, 24, kernel.DefaultOptions()); err != nil {

@@ -49,6 +49,14 @@ type Snapshot struct {
 	SwapPages      HistSnapshot // pages per applied swap request
 	LockHoldNs     HistSnapshot // simulated ns per PTE-lock critical section
 	ShootdownGapNs HistSnapshot // simulated ns between a context's shootdowns
+
+	// Fault plane (internal/fault): injections by site plus the
+	// degradation ladder the GC climbed in response.
+	FaultsBySite  [NumFaultSites]uint64
+	SwapRetries   uint64 // EAGAIN-style swap retries (KindRetry)
+	SwapFallbacks uint64 // per-object degradations to byte copy (KindFallback)
+	SwapRollbacks uint64 // transactional undos of partial swaps (KindRollback)
+	IPIResends    uint64 // shootdown IPIs re-sent after ack timeouts
 }
 
 // SnapshotOf aggregates the current metric state of the given tracers.
@@ -75,6 +83,13 @@ func SnapshotOf(tracers ...*Tracer) *Snapshot {
 			s.SwapPages.add(&b.m.swapPages)
 			s.LockHoldNs.add(&b.m.lockHold)
 			s.ShootdownGapNs.add(&b.m.sdGap)
+			for i := range s.FaultsBySite {
+				s.FaultsBySite[i] += b.m.faultBySite[i]
+			}
+			s.SwapRetries += b.m.retries
+			s.SwapFallbacks += b.m.fallbacks
+			s.SwapRollbacks += b.m.rollbacks
+			s.IPIResends += b.m.ipiResends
 		}
 		t.mu.Unlock()
 	}
@@ -98,6 +113,13 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	s.SwapPages.merge(&other.SwapPages)
 	s.LockHoldNs.merge(&other.LockHoldNs)
 	s.ShootdownGapNs.merge(&other.ShootdownGapNs)
+	for i := range s.FaultsBySite {
+		s.FaultsBySite[i] += other.FaultsBySite[i]
+	}
+	s.SwapRetries += other.SwapRetries
+	s.SwapFallbacks += other.SwapFallbacks
+	s.SwapRollbacks += other.SwapRollbacks
+	s.IPIResends += other.IPIResends
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -139,6 +161,28 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if err := p("# HELP svagc_numa_remote_bytes_total Bytes streamed across the socket interconnect.\n# TYPE svagc_numa_remote_bytes_total counter\nsvagc_numa_remote_bytes_total %d\n", s.NUMARemoteB); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_faults_injected_total Faults injected by internal/fault, by site.\n# TYPE svagc_faults_injected_total counter\n"); err != nil {
+		return err
+	}
+	for i := 0; i < NumFaultSites; i++ {
+		if c := s.FaultsBySite[i]; c > 0 {
+			if err := p("svagc_faults_injected_total{site=%q} %d\n", FaultSite(i).String(), c); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("# HELP svagc_swap_retries_total EAGAIN-style swap retries after transient faults.\n# TYPE svagc_swap_retries_total counter\nsvagc_swap_retries_total %d\n", s.SwapRetries); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_swap_fallbacks_total Per-object degradations from SwapVA to byte-copy compaction.\n# TYPE svagc_swap_fallbacks_total counter\nsvagc_swap_fallbacks_total %d\n", s.SwapFallbacks); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_swap_rollbacks_total Transactional undos of partially applied swap requests.\n# TYPE svagc_swap_rollbacks_total counter\nsvagc_swap_rollbacks_total %d\n", s.SwapRollbacks); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_ipi_resends_total Shootdown IPIs re-sent after dropped-ack timeouts.\n# TYPE svagc_ipi_resends_total counter\nsvagc_ipi_resends_total %d\n", s.IPIResends); err != nil {
 		return err
 	}
 	for _, h := range []struct {

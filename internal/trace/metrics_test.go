@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultCountersInSnapshotAndPrometheus feeds synthetic fault-plane
+// events through a tracer and checks they surface both as Snapshot
+// counters and as the Prometheus text-format series the CI chaos job
+// scrapes.
+func TestFaultCountersInSnapshotAndPrometheus(t *testing.T) {
+	tr := New(64)
+	b := tr.NewBuffer(0)
+
+	b.Emit(KindFault, "fault", 0, 0, uint64(FaultSwapTransient), 0)
+	b.Emit(KindFault, "fault", 1, 0, uint64(FaultSwapTransient), 0)
+	b.Emit(KindFault, "fault", 2, 0, uint64(FaultFramePoison), 0)
+	// An IPI-ack fault carries the re-sent target count in arg2.
+	b.Emit(KindFault, "fault", 3, 0, uint64(FaultIPIAck), 5)
+	b.Emit(KindRetry, "swap-retry", 4, 0, 0, 0)
+	b.Emit(KindRetry, "swap-retry", 5, 0, 0, 0)
+	b.Emit(KindRetry, "swap-retry", 6, 0, 0, 0)
+	b.Emit(KindFallback, "swap-fallback-memmove", 7, 0, 0, 0)
+	b.Emit(KindRollback, "swap-rollback", 8, 0, 2, 0)
+	b.Emit(KindRollback, "swap-rollback", 9, 0, 1, 0)
+
+	s := SnapshotOf(tr)
+	if got := s.FaultsBySite[FaultSwapTransient]; got != 2 {
+		t.Errorf("FaultsBySite[swap_transient] = %d, want 2", got)
+	}
+	if got := s.FaultsBySite[FaultFramePoison]; got != 1 {
+		t.Errorf("FaultsBySite[frame_poison] = %d, want 1", got)
+	}
+	if got := s.FaultsBySite[FaultIPIAck]; got != 1 {
+		t.Errorf("FaultsBySite[ipi_ack] = %d, want 1", got)
+	}
+	if s.SwapRetries != 3 || s.SwapFallbacks != 1 || s.SwapRollbacks != 2 {
+		t.Errorf("retries/fallbacks/rollbacks = %d/%d/%d, want 3/1/2",
+			s.SwapRetries, s.SwapFallbacks, s.SwapRollbacks)
+	}
+	if s.IPIResends != 5 {
+		t.Errorf("IPIResends = %d, want 5", s.IPIResends)
+	}
+
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`svagc_faults_injected_total{site="swap_transient"} 2`,
+		`svagc_faults_injected_total{site="frame_poison"} 1`,
+		`svagc_faults_injected_total{site="ipi_ack"} 1`,
+		"svagc_swap_retries_total 3",
+		"svagc_swap_fallbacks_total 1",
+		"svagc_swap_rollbacks_total 2",
+		"svagc_ipi_resends_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestFaultSiteStrings pins the metric label spellings: they are scrape
+// contracts, and fault.ParsePlan accepts them as site names.
+func TestFaultSiteStrings(t *testing.T) {
+	want := map[FaultSite]string{
+		FaultPTELockStall:  "pte_lock_stall",
+		FaultIPIAck:        "ipi_ack",
+		FaultSwapTransient: "swap_transient",
+		FaultFramePoison:   "frame_poison",
+		FaultInterconnect:  "interconnect",
+	}
+	for site, name := range want {
+		if got := site.String(); got != name {
+			t.Errorf("FaultSite(%d).String() = %q, want %q", site, got, name)
+		}
+	}
+}

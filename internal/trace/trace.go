@@ -66,8 +66,22 @@ const (
 	// KindSpan is one worker's busy interval within a GC phase.
 	// Arg1 = worker index.
 	KindSpan
+	// KindFault is one injected fault firing (internal/fault).
+	// Arg1 = FaultSite, Arg2 = site-specific detail (faulting VA for
+	// kernel sites, unacked-target count for IPI ack timeouts).
+	KindFault
+	// KindRetry is one EAGAIN-style retry of a failed swap, including the
+	// backoff charged to the clock as Dur. Arg1 = attempt number (1-based),
+	// Arg2 = source VA.
+	KindRetry
+	// KindFallback is one per-object degradation from swap to byte-copy
+	// compaction. Arg1 = pages, Arg2 = destination VA.
+	KindFallback
+	// KindRollback is one transactional undo of a partially applied swap
+	// request. Arg1 = undo operations replayed, Arg2 = request VA1.
+	KindRollback
 
-	numKinds = int(KindSpan) + 1
+	numKinds = int(KindRollback) + 1
 )
 
 // String returns the stable lower-case name used in metrics labels and
@@ -96,6 +110,57 @@ func (k Kind) String() string {
 		return "phase"
 	case KindSpan:
 		return "span"
+	case KindFault:
+		return "fault"
+	case KindRetry:
+		return "retry"
+	case KindFallback:
+		return "fallback"
+	case KindRollback:
+		return "rollback"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultSite identifies one injectable failure point in the simulated
+// machine. The enum lives here (not in internal/fault) so the trace layer
+// can label per-site counters without importing the injector.
+type FaultSite uint8
+
+const (
+	// FaultPTELockStall delays a PTE-table lock acquisition.
+	FaultPTELockStall FaultSite = iota
+	// FaultIPIAck drops a TLB-shootdown IPI ack, forcing an ack-timeout
+	// wait and a bounded-backoff re-send.
+	FaultIPIAck
+	// FaultSwapTransient fails a SwapVA request mid-body with a retryable
+	// EAGAIN-style error.
+	FaultSwapTransient
+	// FaultFramePoison marks a physical frame ECC-bad: swaps touching it
+	// fail permanently and the GC must degrade to byte copy.
+	FaultFramePoison
+	// FaultInterconnect is a NUMA interconnect brownout: cross-socket
+	// latency and bandwidth costs degrade for the affected access.
+	FaultInterconnect
+
+	NumFaultSites = int(FaultInterconnect) + 1
+)
+
+// String returns the stable site name used in metrics labels and fault
+// plans.
+func (s FaultSite) String() string {
+	switch s {
+	case FaultPTELockStall:
+		return "pte_lock_stall"
+	case FaultIPIAck:
+		return "ipi_ack"
+	case FaultSwapTransient:
+		return "swap_transient"
+	case FaultFramePoison:
+		return "frame_poison"
+	case FaultInterconnect:
+		return "interconnect"
 	default:
 		return "unknown"
 	}
@@ -104,8 +169,11 @@ func (k Kind) String() string {
 // Category groups kinds for the Chrome trace "cat" field.
 func (k Kind) Category() string {
 	switch k {
-	case KindSyscall, KindSwapReq, KindSwapPage, KindSwapPMD, KindPTELock:
+	case KindSyscall, KindSwapReq, KindSwapPage, KindSwapPMD, KindPTELock,
+		KindRollback:
 		return "kernel"
+	case KindFault, KindRetry, KindFallback:
+		return "fault"
 	case KindFlushLocal, KindFlushPage, KindShootdown:
 		return "tlb"
 	case KindBus:
@@ -191,6 +259,19 @@ func (b *Buffer) Emit(k Kind, name string, start, dur sim.Time, a1, a2 uint64) {
 	}
 	b.emitted++
 	b.m.observe(k, dur, a1, a2, start)
+}
+
+// ObserveFault counts one injected fault without recording an event.
+// Interconnect brownouts fire on the per-access NUMA charge path, far too
+// hot for ring-buffer events, so like ObserveNUMA they update only the
+// fixed-size aggregate counters. Nil-safe like Emit.
+func (b *Buffer) ObserveFault(site FaultSite) {
+	if b == nil {
+		return
+	}
+	if int(site) < NumFaultSites {
+		b.m.faultBySite[site]++
+	}
 }
 
 // ObserveNUMA counts one placement-resolved access without recording an
@@ -323,6 +404,14 @@ type bufMetrics struct {
 	numaRemote      uint64
 	numaRemoteBytes uint64
 	ipisRemote      uint64
+
+	// Fault plane, fed by KindFault/KindRetry/KindFallback/KindRollback
+	// events and by ObserveFault on paths too hot for events.
+	faultBySite [NumFaultSites]uint64
+	retries     uint64
+	fallbacks   uint64
+	rollbacks   uint64
+	ipiResends  uint64
 }
 
 func (m *bufMetrics) observe(k Kind, dur sim.Time, a1, a2 uint64, ts sim.Time) {
@@ -342,5 +431,18 @@ func (m *bufMetrics) observe(k Kind, dur sim.Time, a1, a2 uint64, ts sim.Time) {
 		m.ipisRemote += a2
 	case KindBus:
 		m.busBytes += a1
+	case KindFault:
+		if a1 < uint64(NumFaultSites) {
+			m.faultBySite[a1]++
+		}
+		if FaultSite(a1) == FaultIPIAck {
+			m.ipiResends += a2 // unacked targets re-sent this round
+		}
+	case KindRetry:
+		m.retries++
+	case KindFallback:
+		m.fallbacks++
+	case KindRollback:
+		m.rollbacks++
 	}
 }
