@@ -31,6 +31,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/soak"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -39,7 +40,7 @@ import (
 func main() {
 	var (
 		benchName = flag.String("bench", "", "workload name, or a comma-separated list to fan out (see -list)")
-		collector = flag.String("gc", jvm.CollectorSVAGC, "collector: svagc, svagc-memmove, parallelgc, shenandoah, parallelgc-swapva, shenandoah-swapva")
+		collector = flag.String("gc", jvm.CollectorSVAGC, "collector: svagc, svagc-memmove, parallelgc, shenandoah, parallelgc-swapva, shenandoah-swapva, copygc")
 		factor    = flag.Float64("heap", 1.2, "heap size as a factor of the workload's minimum")
 		workers   = flag.Int("gcworkers", 4, "GC threads")
 		jvms      = flag.Int("jvms", 1, "modelled co-running JVM count")
@@ -61,6 +62,8 @@ func main() {
 		faultPln  = flag.String("fault-plan", "", "fault-injection plan: comma-separated site=rate (sites: pte-lock, ipi-ack, swapva, poison, interconnect, all), e.g. 'swapva=0.01,poison=1e-4'")
 		faultRt   = flag.Float64("fault-rate", 0, "uniform fault rate applied to every site (per-site -fault-plan entries override it)")
 		faultSd   = flag.Int64("fault-seed", 0, "fault-injection seed; the same seed and plan replay the identical fault sequence (0 = workload seed)")
+		watchdogD = flag.Duration("watchdog", 0, "arm the GC watchdog: abort with diagnostics when a phase exceeds this simulated duration (svagc, svagc-memmove, copygc)")
+		soakDur   = flag.Duration("soak", 0, "run the memory-pressure soak loop for this host duration instead of a workload (uses -gc, -gcworkers, -seed, -watchdog)")
 	)
 	flag.Parse()
 
@@ -68,6 +71,24 @@ func main() {
 		for _, s := range workloads.Registry() {
 			fmt.Printf("%-16s %-12s paper: %4d threads, %s; scaled: %d threads, %.1f MiB min heap\n",
 				s.Name, s.Suite, s.PaperThreads, s.PaperHeap, s.Threads, float64(s.MinHeapBytes)/(1<<20))
+		}
+		return
+	}
+	if *soakDur > 0 {
+		res, err := soak.Run(soak.Config{
+			Collector: *collector,
+			GCWorkers: *workers,
+			Duration:  *soakDur,
+			Watchdog:  sim.Time(watchdogD.Nanoseconds()),
+			Seed:      *seed,
+			Log:       os.Stderr,
+		})
+		if res != nil {
+			fmt.Println("soak:", res)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: soak:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -105,11 +126,14 @@ func main() {
 	newFault := func() *fault.Injector { return fault.New(faultSeed, faultPlan) }
 
 	// cfgFor builds the JVM configuration for one workload spec, honouring
-	// the SVAGC-only threshold/placement overrides.
+	// the SVAGC-only threshold/placement overrides and the watchdog
+	// deadline.
+	deadline := sim.Time(watchdogD.Nanoseconds())
 	cfgFor := func(spec *workloads.Spec) (jvm.Config, error) {
 		heapBytes := spec.MinHeap(*factor)
 		if (*threshold > 0 || place != gc.PlaceSpread) && *collector == jvm.CollectorSVAGC {
-			sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold, Placement: place}
+			sc := svagc.Config{Workers: *workers, ThresholdPages: *threshold,
+				Placement: place, PhaseDeadline: deadline}
 			return jvm.Config{
 				HeapBytes: heapBytes,
 				Threads:   spec.Threads,
@@ -119,7 +143,7 @@ func main() {
 				},
 			}, nil
 		}
-		cfg, ok := jvm.ConfigFor(*collector, heapBytes, spec.Threads, *workers)
+		cfg, ok := jvm.ConfigForDeadline(*collector, heapBytes, spec.Threads, *workers, deadline)
 		if !ok {
 			return jvm.Config{}, fmt.Errorf("unknown collector %q (want %v)", *collector, jvm.CollectorNames())
 		}

@@ -215,6 +215,7 @@ func Registry() []*Experiment {
 		{ID: "ext2", Title: "Extension: heap on non-volatile memory", Run: Ext2NVMHeap},
 		{ID: "ext3", Title: "Extension: 2 MiB (PMD-entry) huge swaps", Run: Ext3HugePages},
 		{ID: "numa1", Title: "Extension: SwapVA shootdown scaling, 1 vs 2 sockets", Run: NUMA1ShootdownScaling},
+		{ID: "oom1", Title: "Extension: full GC under memory pressure (SwapVA vs byte-copy)", Run: OOM1MemoryPressure},
 	}
 }
 

@@ -35,6 +35,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -114,7 +115,9 @@ func ParsePlan(spec string) (Plan, error) {
 // individual sites.
 func ParsePlanWithRate(spec string, rate float64) (Plan, error) {
 	var p Plan
-	if rate < 0 || rate > 1 {
+	// NaN compares false against both bounds, so reject it explicitly —
+	// a NaN rate would otherwise flow into every roll undetected.
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
 		return p, fmt.Errorf("fault: base rate %g outside [0, 1]", rate)
 	}
 	if rate > 0 {
@@ -133,7 +136,7 @@ func ParsePlanWithRate(spec string, rate float64) (Plan, error) {
 			return p, fmt.Errorf("fault: entry %q not in site=rate form", tok)
 		}
 		r, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-		if err != nil || r < 0 || r > 1 {
+		if err != nil || math.IsNaN(r) || r < 0 || r > 1 {
 			return p, fmt.Errorf("fault: entry %q: rate must be a number in [0, 1]", tok)
 		}
 		name = strings.ToLower(strings.TrimSpace(name))

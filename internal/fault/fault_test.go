@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/trace"
@@ -35,6 +36,16 @@ func TestParsePlan(t *testing.T) {
 		{spec: "swapva=1.5", err: true},
 		{spec: "swapva=-0.1", err: true},
 		{spec: "", rate: 2, err: true},
+		// strconv.ParseFloat accepts "NaN" and NaN defeats range checks
+		// (both comparisons are false), so it needs explicit rejection —
+		// as do the infinities and a NaN base rate.
+		{spec: "swapva=NaN", err: true},
+		{spec: "all=nan", err: true},
+		{spec: "swapva=+Inf", err: true},
+		{spec: "swapva=-Inf", err: true},
+		{spec: "", rate: math.NaN(), err: true},
+		{spec: "", rate: math.Inf(1), err: true},
+		{spec: "", rate: -1, err: true},
 	}
 	for _, c := range cases {
 		p, err := ParsePlanWithRate(c.spec, c.rate)

@@ -22,6 +22,9 @@ const (
 	CauseAllocFailure Cause = iota
 	// CauseExplicit is a System.gc()-style request (benchmarks use it).
 	CauseExplicit
+	// CauseMemoryPressure is an emergency collection triggered by the
+	// physical allocator dropping below its low watermark.
+	CauseMemoryPressure
 )
 
 // String implements fmt.Stringer.
@@ -31,6 +34,8 @@ func (c Cause) String() string {
 		return "allocation failure"
 	case CauseExplicit:
 		return "explicit"
+	case CauseMemoryPressure:
+		return "memory pressure"
 	default:
 		return fmt.Sprintf("Cause(%d)", int(c))
 	}

@@ -1,0 +1,108 @@
+package lisp2
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// evacuateCompact (Config.CopyCompact) replaces the sliding compaction
+// with a full evacuation, modelling the frame appetite of a copying
+// collector: a to-space image for the whole live span is mapped fresh,
+// live objects are byte-copied out to their forwarding offsets, and the
+// finished image is bulk-copied home before to-space is unmapped. Total
+// copy traffic is ~2x the live bytes (out + home), and — the point of the
+// model — the phase needs live-span/PageSize free frames up front. When
+// the machine cannot map that headroom (ErrNoMemory, including the
+// watermark gate), the phase degrades to the in-place slide exactly like
+// a degenerated G1/Shenandoah collection: correctness is preserved, the
+// degradation is counted (Perf.EvacFailures) and traced.
+func (c *Collector) evacuateCompact(pool *gc.Pool, from, top, newTop uint64) error {
+	span := int(newTop - from)
+	mover := pool.Worker(0)
+	if span <= 0 {
+		// Nothing live: the slide walk is a no-op either way.
+		return c.compactPhase(pool, from, top, 0)
+	}
+	pages := (span + mem.PageMask) >> mem.PageShift
+	scratch, err := c.H.AS.MapRegion(pages)
+	if err != nil {
+		if errors.Is(err, mem.ErrNoMemory) {
+			mover.Perf.EvacFailures++
+			mover.Trace.Emit(trace.KindFallback, "evac-degrade-slide",
+				mover.Clock.Now(), 0, uint64(pages), from)
+			return c.compactPhase(pool, from, top, 0)
+		}
+		return err
+	}
+	defer c.H.AS.Unmap(scratch, pages, true)
+
+	nWorkers := c.cfg.compactWorkers()
+	if nWorkers > pool.Size() {
+		nWorkers = pool.Size()
+	}
+	rr := 0
+	next := func() *machine.Context {
+		w := pool.Worker(rr)
+		rr = (rr + 1) % nWorkers
+		return w
+	}
+
+	// Build the compacted image in to-space, mirroring compactPhase's
+	// cursor/filler bookkeeping (generic over the move policy, though the
+	// usual copy-collector policy produces no alignment gaps).
+	cursor := from
+	cur := from
+	for cur < top {
+		w := next()
+		o := heap.Object(cur)
+		hd, err := c.H.ReadHeader(w, o)
+		if err != nil {
+			return err
+		}
+		size := hd.Size
+		if hd.Filler || !hd.Marked {
+			cur += uint64(size)
+			continue
+		}
+		fwd, err := c.H.Forward(w, o)
+		if err != nil {
+			return err
+		}
+		dest := fwd.VA()
+		if dest < cursor || dest > cur {
+			return fmt.Errorf("evacuate: object %#x has non-sliding forward %#x (cursor %#x)", cur, dest, cursor)
+		}
+		if gap := int(dest - cursor); gap > 0 {
+			if err := c.H.WriteFiller(w, scratch+(cursor-from), gap); err != nil {
+				return err
+			}
+		}
+		if err := c.H.ClearGCBits(w, o, size); err != nil {
+			return err
+		}
+		if err := c.H.K.Memmove(w, c.H.AS, scratch+(dest-from), cur, size); err != nil {
+			return err
+		}
+		cursor = dest + uint64(size)
+		if c.cfg.Policy.Swappable(size) {
+			aligned := c.cfg.Policy.IfSwapAlign(size, cursor)
+			if trail := int(aligned - cursor); trail > 0 {
+				if err := c.H.WriteFiller(w, scratch+(cursor-from), trail); err != nil {
+					return err
+				}
+			}
+			cursor = aligned
+			cur = c.cfg.Policy.IfSwapAlign(size, cur+uint64(size))
+			continue
+		}
+		cur += uint64(size)
+	}
+	// Copy the finished image home in one bulk stream.
+	return c.H.K.Memmove(mover, c.H.AS, from, scratch, span)
+}

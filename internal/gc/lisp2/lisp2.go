@@ -16,6 +16,7 @@
 package lisp2
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -70,6 +71,23 @@ type Config struct {
 	// Collections on a fault-injected machine are always verified,
 	// regardless of this setting.
 	VerifyHeap bool
+	// PhaseDeadline arms the GC watchdog: a phase whose simulated elapsed
+	// time exceeds this budget aborts the collection with a diagnostic
+	// dump (*WatchdogError) instead of grinding on. 0 disarms (default).
+	PhaseDeadline sim.Time
+	// ReserveFrames is the GC-critical frame reservation acquired for the
+	// duration of each collection (degrade-to-copy bounce frames draw from
+	// it, so compaction cannot fail at the min watermark). 0 picks a small
+	// default when the machine's watermarks are armed, and disables the
+	// reserve entirely otherwise.
+	ReserveFrames int
+	// CopyCompact replaces the sliding compaction phase with a full
+	// evacuation: live objects are copied out to a freshly mapped to-space
+	// image and bulk-copied home. This models a copying collector's
+	// headroom appetite — when to-space cannot be mapped under memory
+	// pressure the phase degrades to the in-place slide (a degenerated
+	// collection) and counts an EvacFailure.
+	CopyCompact bool
 }
 
 func (c Config) workers() int {
@@ -121,6 +139,24 @@ func (c Config) retryBackoff() sim.Time {
 	return c.RetryBackoffNs
 }
 
+// defaultReserveFrames is the GC reservation used when watermarks are
+// armed but Config.ReserveFrames is unset: enough bounce headroom for a
+// degraded compaction, small enough not to dent mutator headroom.
+const defaultReserveFrames = 8
+
+// gcReserve resolves the per-collection frame reservation: the explicit
+// Config value, a small default on a watermarked machine, and 0 (fully
+// disabled — the bit-identical legacy path) everywhere else.
+func (c *Collector) gcReserve() int {
+	if c.cfg.ReserveFrames > 0 {
+		return c.cfg.ReserveFrames
+	}
+	if c.H.AS.Phys.Watermarks().Enabled() {
+		return defaultReserveFrames
+	}
+	return 0
+}
+
 // Collector is a LISP2 mark-compact collector over one heap.
 type Collector struct {
 	H     *heap.Heap
@@ -129,6 +165,13 @@ type Collector struct {
 	name  string
 	cfg   Config
 	stats gc.Stats
+
+	// wd is the per-collection watchdog state; collections run on one
+	// host goroutine (virtual parallelism), so a plain field suffices.
+	wd watchdog
+	// reserveActive is the frame reservation held for the current
+	// collection (0 = none); degradeToCopy draws bounce frames against it.
+	reserveActive int
 }
 
 // New builds a collector. The name is reported by Name() and in results
@@ -150,9 +193,10 @@ func (c *Collector) Config() Config { return c.cfg }
 // (start → the worker's own clock, captured before the barrier equalises
 // the clocks), runs the phase barrier, and records the phase event with
 // the makespan duration on the driving context. It returns the
-// post-barrier instant, exactly like pool.BarrierSync.
+// post-barrier instant, exactly like pool.BarrierSync, plus the watchdog
+// verdict on the finished phase's makespan.
 func (c *Collector) endPhase(ctx *machine.Context, pool *gc.Pool,
-	name string, start sim.Time) sim.Time {
+	name string, start sim.Time) (sim.Time, error) {
 
 	if ctx.Trace != nil {
 		for i, w := range pool.Workers {
@@ -163,7 +207,7 @@ func (c *Collector) endPhase(ctx *machine.Context, pool *gc.Pool,
 	end := pool.BarrierSync(c.cfg.barrier())
 	ctx.Trace.Emit(trace.KindPhase, name, start, end-start,
 		uint64(pool.Size()), 0)
-	return end
+	return end, c.checkPhase(ctx, end)
 }
 
 // Collect implements gc.Collector: a full collection of the entire heap.
@@ -191,23 +235,52 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 	defer restoreStreams()
 	oldTop := c.H.Top()
 
+	// Acquire the GC-critical frame reservation for the collection's
+	// duration: degrade-to-copy bounce frames draw from it, immune to the
+	// min watermark. Failure to reserve is not fatal — the collection
+	// proceeds reserveless and the ladder still completes (Memmove itself
+	// needs no frames) — so PR 4's always-completes contract holds even on
+	// a machine with zero headroom.
+	if n := c.gcReserve(); n > 0 {
+		if c.H.AS.Phys.Reserve(n) == nil {
+			c.reserveActive = n
+			defer func() {
+				c.H.AS.Phys.ReleaseReserve(c.reserveActive)
+				c.reserveActive = 0
+			}()
+		}
+	}
+	c.wd = watchdog{deadline: c.cfg.PhaseDeadline}
+
 	t0 := pool.BarrierSync(0)
+	c.wd.arm("mark", t0)
 	liveBytes, liveObjects, err := c.markPhase(pool, from, oldTop, holders)
 	if err != nil {
 		return nil, fmt.Errorf("lisp2: mark: %w", err)
 	}
-	t1 := c.endPhase(ctx, pool, "mark", t0)
+	t1, err := c.endPhase(ctx, pool, "mark", t0)
+	if err != nil {
+		return nil, err
+	}
 
+	c.wd.arm("forward", t1)
 	newTop, swapMoves, err := c.forwardPhase(pool, from, oldTop)
 	if err != nil {
 		return nil, fmt.Errorf("lisp2: forward: %w", err)
 	}
-	t2 := c.endPhase(ctx, pool, "forward", t1)
+	t2, err := c.endPhase(ctx, pool, "forward", t1)
+	if err != nil {
+		return nil, err
+	}
 
+	c.wd.arm("adjust", t2)
 	if err := c.adjustPhase(pool, from, oldTop, holders); err != nil {
 		return nil, fmt.Errorf("lisp2: adjust: %w", err)
 	}
-	t3 := c.endPhase(ctx, pool, "adjust", t2)
+	t3, err := c.endPhase(ctx, pool, "adjust", t2)
+	if err != nil {
+		return nil, err
+	}
 
 	// Shadow verification brackets compaction: capture after adjust (every
 	// forwarding address and final reference value is in place), verify
@@ -222,10 +295,22 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 		}
 	}
 
-	if err := c.compactPhase(pool, from, oldTop, swapMoves); err != nil {
+	c.wd.arm("compact", t3)
+	if c.cfg.CopyCompact {
+		err = c.evacuateCompact(pool, from, oldTop, newTop)
+	} else {
+		err = c.compactPhase(pool, from, oldTop, swapMoves)
+	}
+	if err != nil {
+		if errors.Is(err, ErrWatchdog) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("lisp2: compact: %w", err)
 	}
-	t4 := c.endPhase(ctx, pool, "compact", t3)
+	t4, err := c.endPhase(ctx, pool, "compact", t3)
+	if err != nil {
+		return nil, err
+	}
 
 	c.H.SetTop(newTop)
 	if shadow != nil {
@@ -258,6 +343,7 @@ func (c *Collector) CollectRange(ctx *machine.Context, cause gc.Cause,
 		SwapVACalls:  poolPerf.SwapVACalls,
 		MemmoveCalls: poolPerf.MemmoveCalls,
 		IPIs:         poolPerf.IPIsSent,
+		Degraded:     poolPerf.SwapFallbacks + poolPerf.EvacFailures,
 	}
 	if c.cfg.ConcurrentMark {
 		// Marking ran concurrently with the mutators: take it out of the

@@ -31,7 +31,9 @@ func (c *Collector) swapOrDegrade(w *machine.Context, dest, src uint64,
 	err := c.H.K.SwapVA(w, c.H.AS, dest, src, pages, opts)
 	for attempt := 1; err != nil && errors.Is(err, kernel.ErrAgain) &&
 		attempt <= c.cfg.maxRetries(); attempt++ {
-		c.chargeBackoff(w, attempt, src)
+		if wdErr := c.chargeBackoff(w, attempt, src); wdErr != nil {
+			return wdErr
+		}
 		err = c.H.K.SwapVA(w, c.H.AS, dest, src, pages, opts)
 	}
 	if err == nil {
@@ -44,8 +46,11 @@ func (c *Collector) swapOrDegrade(w *machine.Context, dest, src uint64,
 }
 
 // chargeBackoff waits out one retry backoff (base << (attempt-1), capped)
-// on the worker's clock and records the retry.
-func (c *Collector) chargeBackoff(w *machine.Context, attempt int, va uint64) {
+// on the worker's clock and records the retry. The retry ladder is the
+// collection's only open-ended time sink, so it doubles as the watchdog's
+// mid-phase probe: a retry storm that pushes the phase past its deadline
+// returns the watchdog abort instead of burning on.
+func (c *Collector) chargeBackoff(w *machine.Context, attempt int, va uint64) error {
 	shift := attempt - 1
 	if shift > maxBackoffShift {
 		shift = maxBackoffShift
@@ -55,6 +60,7 @@ func (c *Collector) chargeBackoff(w *machine.Context, attempt int, va uint64) {
 	w.Clock.Advance(back)
 	w.Perf.SwapRetries++
 	w.Trace.Emit(trace.KindRetry, "swap-retry", t0, back, uint64(attempt), va)
+	return c.checkMid(w, attempt, va)
 }
 
 // degradeToCopy is the ladder's bottom rung: move the object by memmove.
@@ -66,6 +72,21 @@ func (c *Collector) degradeToCopy(w *machine.Context, dest, src uint64, pages in
 	w.Perf.SwapFallbacks++
 	w.Trace.Emit(trace.KindFallback, "swap-fallback-memmove", w.Clock.Now(), 0,
 		uint64(pages), dest)
+	// Under memory pressure the copy's bounce frame comes from the GC
+	// reservation, so the degrade path cannot fail at the min watermark.
+	// Pure accounting — the frame is returned (and the reservation
+	// re-credited) immediately, and no simulated time is charged, so runs
+	// without a reserve are bit-identical.
+	if c.reserveActive > 0 {
+		node := 0
+		if w.NUMAView != nil {
+			node = w.Core.Socket
+		}
+		if id, err := c.H.AS.Phys.AllocFrameReserved(node); err == nil {
+			w.Perf.ReservedAllocs++
+			defer c.H.AS.Phys.FreeFrameToReserve(id)
+		}
+	}
 	return c.H.K.Memmove(w, c.H.AS, dest, src, pages<<mem.PageShift)
 }
 
@@ -102,7 +123,9 @@ func (c *Collector) flushReqs(w *machine.Context, reqs []kernel.SwapReq,
 		switch {
 		case errors.Is(err, kernel.ErrAgain) && attempts < c.cfg.maxRetries():
 			attempts++
-			c.chargeBackoff(w, attempts, reqs[0].VA2)
+			if wdErr := c.chargeBackoff(w, attempts, reqs[0].VA2); wdErr != nil {
+				return wdErr
+			}
 		case kernel.Degradable(err):
 			r := reqs[0]
 			if err := c.degradeToCopy(w, r.VA1, r.VA2, r.Pages); err != nil {

@@ -1,0 +1,136 @@
+package lisp2
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/gc"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ErrWatchdog is the sentinel under watchdog aborts: a GC phase exceeded
+// its armed deadline. Match with errors.Is; the concrete error is
+// *WatchdogError carrying the diagnostic dump.
+var ErrWatchdog = errors.New("lisp2: gc watchdog expired")
+
+// watchdog tracks the per-phase deadline of the running collection. In a
+// virtual-time simulator a "hang" is simulated time that keeps growing
+// without the phase finishing — a retry storm of backoffs, a pathological
+// fault plan — so the watchdog is checked wherever a phase burns
+// open-ended time (the retry ladder) and at every phase boundary.
+type watchdog struct {
+	deadline sim.Time // per-phase budget; 0 = disarmed
+	phase    string
+	start    sim.Time
+	done     gc.PhaseTimes // phases completed before the current one
+}
+
+// arm opens a new phase under the deadline.
+func (wd *watchdog) arm(phase string, start sim.Time) {
+	wd.phase = phase
+	wd.start = start
+}
+
+// WatchdogError is the diagnostic dump of an expired GC watchdog: which
+// phase stuck, how far past its deadline, what the completed phases cost,
+// and the recovery-ladder counters at the moment of the trip.
+type WatchdogError struct {
+	Phase     string
+	Elapsed   sim.Time
+	Deadline  sim.Time
+	Completed gc.PhaseTimes // timings of the phases that did finish
+
+	// Recovery-ladder and coherence state at the trip, from the tripping
+	// worker's counters (pool-wide at a phase boundary).
+	Retries    uint64 // EAGAIN swap retries charged
+	Fallbacks  uint64 // moves degraded to byte copy
+	Rollbacks  uint64 // transactional swap undos
+	IPIResends uint64 // shootdown IPIs re-sent after dropped acks
+	Faults     uint64 // faults injected so far
+	SwapCalls  uint64 // SwapVA syscalls issued (each holds the PTE locks once)
+
+	// Retry-ladder position when the trip happened mid-ladder (zero at a
+	// phase-boundary trip).
+	Attempt int
+	VA      uint64
+}
+
+// Error implements error with the full multi-line dump.
+func (e *WatchdogError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: phase %q ran %v against a %v deadline\n",
+		ErrWatchdog, e.Phase, e.Elapsed, e.Deadline)
+	fmt.Fprintf(&b, "completed phases: mark %v, forward %v, adjust %v, compact %v\n",
+		e.Completed.Mark, e.Completed.Forward, e.Completed.Adjust, e.Completed.Compact)
+	fmt.Fprintf(&b, "recovery ladder: %d retries, %d fallbacks, %d rollbacks\n",
+		e.Retries, e.Fallbacks, e.Rollbacks)
+	fmt.Fprintf(&b, "coherence: %d IPI re-sends outstanding, %d faults injected, %d PTE-lock acquisitions (swap calls)\n",
+		e.IPIResends, e.Faults, e.SwapCalls)
+	if e.Attempt > 0 {
+		fmt.Fprintf(&b, "tripped mid-retry: attempt %d at va %#x", e.Attempt, e.VA)
+	} else {
+		b.WriteString("tripped at phase boundary")
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrWatchdog) hold.
+func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
+
+// trip builds the diagnostic, emits the watchdog trace event on w, and
+// returns the abort error. attempt/va carry the retry-ladder position for
+// mid-ladder trips (0 otherwise).
+func (c *Collector) trip(w *machine.Context, elapsed sim.Time, attempt int, va uint64) error {
+	w.Trace.Emit(trace.KindWatchdog, "gc-watchdog", c.wd.start, elapsed,
+		uint64(elapsed), uint64(c.wd.deadline))
+	return &WatchdogError{
+		Phase:      c.wd.phase,
+		Elapsed:    elapsed,
+		Deadline:   c.wd.deadline,
+		Completed:  c.wd.done,
+		Retries:    w.Perf.SwapRetries,
+		Fallbacks:  w.Perf.SwapFallbacks,
+		Rollbacks:  w.Perf.SwapRollbacks,
+		IPIResends: w.Perf.IPIResends,
+		Faults:     w.Perf.FaultsInjected,
+		SwapCalls:  w.Perf.SwapVACalls,
+		Attempt:    attempt,
+		VA:         va,
+	}
+}
+
+// checkMid is the mid-phase watchdog probe, called from open-ended time
+// sinks (the retry ladder) with the burning worker's clock.
+func (c *Collector) checkMid(w *machine.Context, attempt int, va uint64) error {
+	if c.wd.deadline <= 0 {
+		return nil
+	}
+	if elapsed := w.Clock.Now() - c.wd.start; elapsed > c.wd.deadline {
+		return c.trip(w, elapsed, attempt, va)
+	}
+	return nil
+}
+
+// checkPhase is the phase-boundary probe: end is the post-barrier instant,
+// so elapsed is the phase makespan. On success the phase is recorded as
+// completed.
+func (c *Collector) checkPhase(ctx *machine.Context, end sim.Time) error {
+	elapsed := end - c.wd.start
+	if c.wd.deadline > 0 && elapsed > c.wd.deadline {
+		return c.trip(ctx, elapsed, 0, 0)
+	}
+	switch c.wd.phase {
+	case "mark":
+		c.wd.done.Mark = elapsed
+	case "forward":
+		c.wd.done.Forward = elapsed
+	case "adjust":
+		c.wd.done.Adjust = elapsed
+	case "compact":
+		c.wd.done.Compact = elapsed
+	}
+	return nil
+}

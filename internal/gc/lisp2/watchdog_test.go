@@ -1,0 +1,121 @@
+package lisp2
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gc"
+	"repro/internal/sim"
+)
+
+// TestWatchdogTripsOnRetryStorm: with every swap failing transiently and a
+// huge retry budget, the backoff ladder would burn simulated hours; a
+// phase deadline converts that hang into a structured abort carrying the
+// diagnostics an engineer would want from a wedged collector.
+func TestWatchdogTripsOnRetryStorm(t *testing.T) {
+	plan, err := fault.ParsePlan("swapva=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := svagcConfig()
+	cfg.MaxSwapRetries = 1 << 20 // a budget that would effectively never exhaust
+	cfg.PhaseDeadline = 200 * sim.Microsecond
+	wd, _ := newFaultWorld(t, 16<<20, cfg.Policy, 42, plan, false)
+	c := New("storm", wd.h, wd.roots, cfg)
+
+	buildChaosGraph(wd, 0, 40)
+	_, err = c.Collect(wd.ctx, gc.CauseExplicit)
+	if err == nil {
+		t.Fatal("retry storm with a 200µs phase deadline completed; want watchdog abort")
+	}
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("error does not unwrap to ErrWatchdog: %v", err)
+	}
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("error is not a *WatchdogError: %v", err)
+	}
+	if we.Phase != "compact" {
+		t.Errorf("tripped in phase %q, want compact (the retry ladder lives there)", we.Phase)
+	}
+	if we.Attempt == 0 {
+		t.Error("retry-storm trip should fire mid-retry (Attempt > 0), not at a phase boundary")
+	}
+	if we.Elapsed <= we.Deadline {
+		t.Errorf("Elapsed %v not past Deadline %v", we.Elapsed, we.Deadline)
+	}
+	if we.Retries == 0 {
+		t.Error("diagnostic dump recorded zero retries during a retry storm")
+	}
+	// The dump must be a useful post-mortem, not a bare sentinel.
+	msg := err.Error()
+	for _, want := range []string{"deadline", "retries", "mark", "mid-retry"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic dump missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestWatchdogTripsAtPhaseBoundary: a deadline below any real phase's
+// makespan trips at the first phase boundary with Attempt == 0 — the
+// boundary probe catches slow phases that never enter the retry ladder.
+func TestWatchdogTripsAtPhaseBoundary(t *testing.T) {
+	wd := newWorld(t, 16<<20, svagcConfig().Policy)
+	cfg := svagcConfig()
+	cfg.PhaseDeadline = 1 // 1 ns: no phase can finish under it
+	c := New("tiny", wd.h, wd.roots, cfg)
+
+	buildGraph(wd, 40)
+	_, err := c.Collect(wd.ctx, gc.CauseExplicit)
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %v", err)
+	}
+	if we.Phase != "mark" {
+		t.Errorf("tripped in phase %q, want mark (the first phase)", we.Phase)
+	}
+	if we.Attempt != 0 {
+		t.Errorf("boundary trip reported Attempt %d, want 0", we.Attempt)
+	}
+	if !strings.Contains(err.Error(), "phase boundary") {
+		t.Errorf("dump should say the trip was at a phase boundary:\n%s", err.Error())
+	}
+}
+
+// TestWatchdogGenerousDeadlinePasses: the same retry-heavy workload under
+// a deadline it can meet completes normally — arming the watchdog is
+// observation, not behaviour change.
+func TestWatchdogGenerousDeadlinePasses(t *testing.T) {
+	plan, err := fault.ParsePlan("swapva=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := svagcConfig()
+	cfg.PhaseDeadline = 10 * sim.Second
+	wd, _ := newFaultWorld(t, 16<<20, cfg.Policy, 42, plan, false)
+	c := New("roomy", wd.h, wd.roots, cfg)
+
+	buildChaosGraph(wd, 0, 40)
+	if _, err := c.Collect(wd.ctx, gc.CauseExplicit); err != nil {
+		t.Fatalf("generous deadline aborted the collection: %v", err)
+	}
+	wd.verify()
+}
+
+// buildGraph allocates a deterministic fault-free object graph mirroring
+// buildChaosGraph's shape without requiring a fault-injected machine.
+func buildGraph(wd *world, count int) {
+	for i := 0; i < count; i++ {
+		wd.alloc(i, 2, chaosSizes[i%len(chaosSizes)], uint16(i%7))
+		if i%4 == 1 {
+			wd.link(i, 0, i-1)
+		}
+	}
+	for i := 0; i < count; i++ {
+		if i%4 == 3 {
+			wd.drop(i)
+		}
+	}
+}

@@ -43,6 +43,20 @@ type PauseInfo struct {
 	SwapVACalls  uint64
 	MemmoveCalls uint64
 	IPIs         uint64
+	// Degraded counts the collection's fallbacks from the intended move
+	// mechanism: per-object swap→memmove degrades plus whole-phase
+	// evacuation→slide fallbacks under memory pressure. Zero on a healthy,
+	// unpressured run.
+	Degraded uint64
+}
+
+// Degraded sums degrade events across all pauses.
+func (s *Stats) Degraded() uint64 {
+	var n uint64
+	for i := range s.Pauses {
+		n += s.Pauses[i].Degraded
+	}
+	return n
 }
 
 // String summarises the pause.

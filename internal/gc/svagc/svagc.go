@@ -11,6 +11,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/gc/lisp2"
 	"repro/internal/heap"
+	"repro/internal/sim"
 )
 
 // Config tunes SVAGC; zero values select the paper's configuration.
@@ -36,6 +37,12 @@ type Config struct {
 	// Placement selects GC worker cores on a multi-socket machine
 	// (gc.PlaceSpread or gc.PlaceLocal); ignored on one socket.
 	Placement gc.Placement
+	// PhaseDeadline arms the GC watchdog: a phase exceeding this simulated
+	// budget aborts with a diagnostic dump instead of hanging (0 = off).
+	PhaseDeadline sim.Time
+	// ReserveFrames overrides the GC-critical frame reservation drawn for
+	// each collection (0 = the lisp2 default when watermarks are armed).
+	ReserveFrames int
 }
 
 // New builds an SVAGC collector over h.
@@ -52,6 +59,8 @@ func New(h *heap.Heap, roots *gc.RootSet, cfg Config) *lisp2.Collector {
 		PinnedCompaction: !cfg.DisablePinning,
 		WorkStealing:     true,
 		Placement:        cfg.Placement,
+		PhaseDeadline:    cfg.PhaseDeadline,
+		ReserveFrames:    cfg.ReserveFrames,
 	})
 }
 

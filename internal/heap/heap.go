@@ -146,6 +146,14 @@ func (h *Heap) allocEnd() uint64 {
 // UsedBytes returns the bytes below the allocation frontier.
 func (h *Heap) UsedBytes() int { return int(h.Top() - h.start) }
 
+// Occupancy returns the heap fill fraction in [0, 1].
+func (h *Heap) Occupancy() float64 {
+	if c := h.Capacity(); c > 0 {
+		return float64(h.UsedBytes()) / float64(c)
+	}
+	return 0
+}
+
 // AllocStats reports cumulative allocation counters.
 func (h *Heap) AllocStats() (objects, bytes uint64) {
 	h.mu.Lock()

@@ -55,6 +55,12 @@ type JVM struct {
 	gcCtx   *machine.Context
 	threads []*Thread
 	oomMax  int
+
+	// pressureArmed gates the low-watermark emergency collection: one per
+	// pressure episode, re-armed when free frames recover above the high
+	// watermark (see Thread.checkPressure). True from birth so the first
+	// episode always triggers.
+	pressureArmed bool
 }
 
 // Thread is one mutator thread: a simulated execution context plus its
@@ -103,6 +109,8 @@ func New(m *machine.Machine, cfg Config) (*JVM, error) {
 		GC:     cfg.NewCollector(h, roots),
 		gcCtx:  m.NewContext(cfg.BaseCore % m.NumCores()),
 		oomMax: 4, // minor + escalation + full may all be needed before OOM
+
+		pressureArmed: true,
 	}
 	j.threads = make([]*Thread, threads)
 	for i := range j.threads {
@@ -148,6 +156,9 @@ func (j *JVM) runGC(cause gc.Cause) (*gc.PauseInfo, error) {
 // heap exhaustion. It returns an OutOfMemory error when collections
 // cannot free enough space.
 func (t *Thread) Alloc(spec heap.AllocSpec) (heap.Object, error) {
+	if err := t.checkPressure(); err != nil {
+		return 0, err
+	}
 	for attempt := 0; ; attempt++ {
 		o, err := t.J.Heap.Alloc(t.Ctx, &t.TLAB, spec)
 		if err == nil {

@@ -2,10 +2,12 @@ package jvm
 
 import (
 	"repro/internal/gc"
+	"repro/internal/gc/copygc"
 	"repro/internal/gc/pargc"
 	"repro/internal/gc/shen"
 	"repro/internal/gc/svagc"
 	"repro/internal/heap"
+	"repro/internal/sim"
 )
 
 // Preset collector names accepted by ConfigFor.
@@ -18,13 +20,18 @@ const (
 	// and concurrent-evacuation phases of the baselines.
 	CollectorParallelSwap = "parallelgc-swapva"
 	CollectorShenSwap     = "shenandoah-swapva"
+	// CollectorCopy is the evacuating byte-copy baseline for the
+	// memory-pressure experiments: identical phases, but compaction
+	// copies through a freshly mapped to-space image, so near-OOM it
+	// degrades where SVAGC's PTE exchange keeps working.
+	CollectorCopy = "copygc"
 )
 
 // CollectorNames lists the presets.
 func CollectorNames() []string {
 	return []string{
 		CollectorSVAGC, CollectorSVAGCBase, CollectorParallel, CollectorShen,
-		CollectorParallelSwap, CollectorShenSwap,
+		CollectorParallelSwap, CollectorShenSwap, CollectorCopy,
 	}
 }
 
@@ -91,13 +98,41 @@ func shenConfig(heapBytes int64, threads, gcWorkers int, useSwapVA bool) Config 
 	}
 }
 
+// CopyGCConfig returns the evacuating byte-copy baseline.
+func CopyGCConfig(heapBytes int64, threads, gcWorkers int) Config {
+	return copyGCConfig(heapBytes, threads, gcWorkers, 0)
+}
+
+func copyGCConfig(heapBytes int64, threads, gcWorkers int, deadline sim.Time) Config {
+	cc := copygc.Config{Workers: gcWorkers, PhaseDeadline: deadline}
+	return Config{
+		HeapBytes: heapBytes,
+		Threads:   threads,
+		Policy:    copygc.Policy(cc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return copygc.New(h, roots, cc)
+		},
+	}
+}
+
 // ConfigFor dispatches on a preset collector name.
 func ConfigFor(name string, heapBytes int64, threads, gcWorkers int) (Config, bool) {
+	return ConfigForDeadline(name, heapBytes, threads, gcWorkers, 0)
+}
+
+// ConfigForDeadline is ConfigFor with a GC-watchdog phase deadline
+// threaded through to the collectors built on the lisp2 engine's full
+// compaction (svagc, svagc-memmove, copygc). The other presets accept
+// the name but ignore the deadline — their collection entry points do
+// not arm a watchdog yet.
+func ConfigForDeadline(name string, heapBytes int64, threads, gcWorkers int,
+	deadline sim.Time) (Config, bool) {
+
 	switch name {
 	case CollectorSVAGC:
-		return SVAGCConfig(heapBytes, threads, gcWorkers), true
+		return svagcDeadlineConfig(heapBytes, threads, gcWorkers, deadline, false), true
 	case CollectorSVAGCBase:
-		return SVAGCBaselineConfig(heapBytes, threads, gcWorkers), true
+		return svagcDeadlineConfig(heapBytes, threads, gcWorkers, deadline, true), true
 	case CollectorParallel:
 		return ParallelGCConfig(heapBytes, threads, gcWorkers), true
 	case CollectorShen:
@@ -106,6 +141,23 @@ func ConfigFor(name string, heapBytes int64, threads, gcWorkers int) (Config, bo
 		return parallelGCConfig(heapBytes, threads, gcWorkers, true), true
 	case CollectorShenSwap:
 		return shenConfig(heapBytes, threads, gcWorkers, true), true
+	case CollectorCopy:
+		return copyGCConfig(heapBytes, threads, gcWorkers, deadline), true
 	}
 	return Config{}, false
+}
+
+func svagcDeadlineConfig(heapBytes int64, threads, gcWorkers int,
+	deadline sim.Time, disableSwap bool) Config {
+
+	sc := svagc.Config{Workers: gcWorkers, DisableSwapVA: disableSwap,
+		PhaseDeadline: deadline}
+	return Config{
+		HeapBytes: heapBytes,
+		Threads:   threads,
+		Policy:    svagc.Policy(sc),
+		NewCollector: func(h *heap.Heap, roots *gc.RootSet) gc.Collector {
+			return svagc.New(h, roots, sc)
+		},
+	}
 }

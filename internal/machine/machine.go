@@ -45,6 +45,12 @@ type Config struct {
 	// NUMABind is the target node of topology.PolicyBind.
 	NUMABind int
 
+	// Watermarks, when non-zero, arms the physical allocator's
+	// min/low/high thresholds (requires PhysBytes > 0). The zero value —
+	// the default — leaves the allocator unwatermarked and the machine
+	// bit-identical to a pre-pressure-plane build.
+	Watermarks mem.Watermarks
+
 	// Fault, when non-nil, arms the deterministic fault-injection plane:
 	// every context created on the machine consults it at the injectable
 	// sites (PTE locks, IPI acks, swap bodies, frame ECC, interconnect).
@@ -87,6 +93,11 @@ type Machine struct {
 	// fault, when non-nil, is the armed fault-injection plane shared by
 	// every context.
 	fault *fault.Injector
+
+	// asMu guards spaces, the registry of live address spaces used by
+	// memory-pressure diagnostics to attribute frame usage per consumer.
+	asMu   sync.Mutex
+	spaces []*mmu.AddressSpace
 }
 
 // New builds a machine from cfg.
@@ -135,6 +146,11 @@ func New(cfg Config) (*Machine, error) {
 		fault:      cfg.Fault,
 	}
 	m.Phys.SetNodes(topo.Sockets())
+	if cfg.Watermarks.Enabled() {
+		if err := m.Phys.SetWatermarks(cfg.Watermarks); err != nil {
+			return nil, err
+		}
+	}
 	for i := range m.cores {
 		m.cores[i] = &Core{ID: i, Socket: topo.SocketOf(i), TLB: mmu.NewTLB(tlbEntries)}
 	}
@@ -201,6 +217,9 @@ func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
 		Bind:   m.numaBind,
 		Nodes:  m.topo.Sockets(),
 	})
+	m.asMu.Lock()
+	m.spaces = append(m.spaces, as)
+	m.asMu.Unlock()
 	return as
 }
 

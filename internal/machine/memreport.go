@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// ASUsage attributes frame consumption to one address space.
+type ASUsage struct {
+	ASID  uint32
+	Pages int // currently mapped pages
+}
+
+// MemReport is the OOM-killer-style machine-wide memory diagnostic:
+// allocator accounting plus the top frame consumers. It is attached to
+// memory-pressure failures so an ErrMemoryPressure carries enough context
+// to see *who* ate the frames.
+type MemReport struct {
+	Usage mem.Usage
+	// Top holds the heaviest address spaces by mapped pages, descending
+	// (ties broken by ASID ascending for deterministic output), at most
+	// five entries.
+	Top []ASUsage
+}
+
+// MemReport snapshots the machine's memory accounting.
+func (m *Machine) MemReport() MemReport {
+	r := MemReport{Usage: m.Phys.Usage()}
+	m.asMu.Lock()
+	for _, as := range m.spaces {
+		if p := as.MappedPages(); p > 0 {
+			r.Top = append(r.Top, ASUsage{ASID: as.ASID, Pages: p})
+		}
+	}
+	m.asMu.Unlock()
+	sort.Slice(r.Top, func(i, j int) bool {
+		if r.Top[i].Pages != r.Top[j].Pages {
+			return r.Top[i].Pages > r.Top[j].Pages
+		}
+		return r.Top[i].ASID < r.Top[j].ASID
+	})
+	if len(r.Top) > 5 {
+		r.Top = r.Top[:5]
+	}
+	return r
+}
+
+// String renders the report as an indented multi-line block, stable for
+// golden comparison.
+func (r MemReport) String() string {
+	var b strings.Builder
+	u := r.Usage
+	if u.Limit > 0 {
+		fmt.Fprintf(&b, "phys: %d/%d frames in use, %d reserved, %d available, pressure %s\n",
+			u.InUse, u.Limit, u.Reserved, u.Available, u.Pressure)
+	} else {
+		fmt.Fprintf(&b, "phys: %d frames in use (unlimited pool)\n", u.InUse)
+	}
+	if u.Watermarks.Enabled() {
+		fmt.Fprintf(&b, "watermarks: min=%d low=%d high=%d\n",
+			u.Watermarks.Min, u.Watermarks.Low, u.Watermarks.High)
+	}
+	for _, n := range u.Nodes {
+		fmt.Fprintf(&b, "node %d: %d frames grown, %d free\n", n.Node, n.Grown, n.Free)
+	}
+	for i, t := range r.Top {
+		fmt.Fprintf(&b, "top[%d]: asid %d, %d pages (%d KiB)\n",
+			i, t.ASID, t.Pages, t.Pages<<(mem.PageShift-10))
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestMemReportRanksConsumers(t *testing.T) {
+	m := MustNew(Config{Cost: sim.XeonGold6130(), PhysBytes: 4 << 20,
+		Watermarks: mem.Watermarks{Min: 4, Low: 8, High: 16}})
+
+	// Three consumers of distinct weights, plus one empty space that must
+	// not appear.
+	sizes := []int{30, 10, 50}
+	for _, pages := range sizes {
+		as := m.NewAddressSpace()
+		if _, err := as.MapRegion(pages); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.NewAddressSpace()
+
+	r := m.MemReport()
+	if len(r.Top) != 3 {
+		t.Fatalf("Top has %d entries, want 3 (empty spaces excluded)", len(r.Top))
+	}
+	for i := 1; i < len(r.Top); i++ {
+		if r.Top[i].Pages > r.Top[i-1].Pages {
+			t.Errorf("Top not sorted descending: %+v", r.Top)
+		}
+	}
+	if r.Top[0].Pages < 50 {
+		t.Errorf("heaviest consumer reports %d pages, want >= 50", r.Top[0].Pages)
+	}
+	if r.Usage.InUse == 0 || r.Usage.Available <= 0 {
+		t.Errorf("usage accounting empty: %+v", r.Usage)
+	}
+
+	s := r.String()
+	for _, want := range []string{"phys:", "watermarks: min=4 low=8 high=16", "top[0]:", "asid"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMemReportCapsAtFive(t *testing.T) {
+	m := MustNew(Config{Cost: sim.XeonGold6130(), PhysBytes: 8 << 20})
+	for i := 0; i < 7; i++ {
+		as := m.NewAddressSpace()
+		if _, err := as.MapRegion(i + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := m.MemReport(); len(r.Top) != 5 {
+		t.Errorf("Top has %d entries, want cap of 5", len(r.Top))
+	}
+}

@@ -1,10 +1,11 @@
 // Package mem implements the simulated physical memory: a pool of 4 KiB
 // frames with an allocator. Frames hold real bytes — every simulated-heap
-// object's contents live here — so remapping experiments (SwapVA) can be
+// object's contents live here — so remapping experiments (SvapVA) can be
 // verified for correctness by reading the bytes back through the MMU.
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,90 @@ type FrameID uint32
 // NilFrame is the reserved invalid frame.
 const NilFrame FrameID = 0
 
+// ErrNoMemory is the sentinel under every allocation failure: physical
+// memory is exhausted (or, see ErrWatermark, held back). Callers match it
+// with errors.Is through any wrapping.
+var ErrNoMemory = errors.New("out of physical memory")
+
+// ErrWatermark wraps ErrNoMemory for allocations refused not because the
+// pool is empty but because granting them would dig into the min-watermark
+// emergency pool (reserved for GC-critical draws). errors.Is(err,
+// ErrNoMemory) and errors.Is(err, ErrWatermark) both hold for these
+// failures, so callers can distinguish backpressure from hard exhaustion.
+var ErrWatermark = fmt.Errorf("allocation held at min watermark: %w", ErrNoMemory)
+
+// Watermarks are Linux-style allocator thresholds in frames, disabled when
+// zero. With watermarks armed (SetWatermarks), ordinary allocations fail
+// with ErrWatermark rather than let the free pool drop below Min — the
+// emergency pool only reservation holders (PhysMem.Reserve) may consume —
+// while Low and High drive caller backpressure: below Low the runtime
+// stalls allocators and triggers emergency collection, and recovery above
+// High re-arms that trigger (hysteresis).
+type Watermarks struct {
+	Min, Low, High int
+}
+
+// Enabled reports whether any threshold is set.
+func (w Watermarks) Enabled() bool { return w.Min > 0 || w.Low > 0 || w.High > 0 }
+
+func (w Watermarks) validate(limit int) error {
+	if !w.Enabled() {
+		return nil
+	}
+	if limit <= 0 {
+		return fmt.Errorf("mem: watermarks need a bounded pool (limit 0)")
+	}
+	if w.Min < 0 || w.Min > w.Low || w.Low > w.High {
+		return fmt.Errorf("mem: watermarks must satisfy 0 <= min <= low <= high (got %+v)", w)
+	}
+	if w.High >= limit {
+		return fmt.Errorf("mem: high watermark %d must lie below the %d-frame limit", w.High, limit)
+	}
+	return nil
+}
+
+// DefaultWatermarks scales Linux's min/low/high ratios to a pool of the
+// given frame count: min is 1/64th of the pool (at least 4 frames), low
+// and high sit 25%% and 50%% above it.
+func DefaultWatermarks(limitFrames int) Watermarks {
+	min := limitFrames / 64
+	if min < 4 {
+		min = 4
+	}
+	return Watermarks{Min: min, Low: min + min/4 + 1, High: min + min/2 + 2}
+}
+
+// Pressure is the allocator's backpressure level, derived from the armed
+// watermarks and the mutator-available frame count (free minus outstanding
+// reservations).
+type Pressure int
+
+const (
+	// PressureNone: free frames sit above the low watermark (or watermarks
+	// are disabled).
+	PressureNone Pressure = iota
+	// PressureLow: available frames at or below Low — allocators should
+	// stall and trigger emergency collection.
+	PressureLow
+	// PressureMin: available frames at or below Min — ordinary allocations
+	// fail fast; only reservation holders may allocate.
+	PressureMin
+)
+
+// String implements fmt.Stringer.
+func (p Pressure) String() string {
+	switch p {
+	case PressureNone:
+		return "none"
+	case PressureLow:
+		return "low"
+	case PressureMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Pressure(%d)", int(p))
+	}
+}
+
 // PhysMem is the simulated physical memory. Allocation is mutex-protected;
 // Frame lookups are lock-free (the frame table is replaced atomically when
 // it grows) so translated accesses never contend with the allocator.
@@ -35,6 +120,15 @@ const NilFrame FrameID = 0
 // to their node's free list, and AllocFrameOn prefers its node before
 // falling back to the others. A PhysMem built without SetNodes behaves as
 // one flat node.
+//
+// Watermarks (SetWatermarks) and the reservation API (Reserve /
+// AllocFrameReserved / FreeFrameToReserve / ReleaseReserve) add the
+// memory-pressure plane: ordinary allocations refuse to dig below the min
+// watermark, while a reservation sets frames aside — allowed to consume
+// the emergency pool — so GC-critical allocations cannot fail
+// mid-compaction. Both are pure accounting: no simulated time is charged
+// here, and with watermarks disabled (the default) behaviour is
+// bit-identical to the unwatermarked allocator.
 type PhysMem struct {
 	mu      sync.Mutex
 	table   atomic.Pointer[[]*[PageSize]byte] // index 0 unused (NilFrame)
@@ -43,6 +137,10 @@ type PhysMem struct {
 	nodes   int
 	limit   int // maximum number of frames, 0 = unlimited
 	inUse   int
+
+	wm       Watermarks
+	wmOn     atomic.Bool // mirrors wm.Enabled() for lock-free fast paths
+	reserved int         // frames promised to reservation holders, not yet drawn
 }
 
 // NewPhysMem creates a physical memory able to hold up to totalBytes of
@@ -94,6 +192,106 @@ func (pm *PhysMem) NodeOf(id FrameID) int {
 	return int(tab[id])
 }
 
+// SetWatermarks arms (or, with a zero value, disarms) the min/low/high
+// thresholds. Watermarks require a bounded pool. Call it before the
+// pressure-sensitive workload starts; arming is not synchronised with
+// in-flight allocations beyond the allocator lock.
+func (pm *PhysMem) SetWatermarks(w Watermarks) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if err := w.validate(pm.limit); err != nil {
+		return err
+	}
+	pm.wm = w
+	pm.wmOn.Store(w.Enabled())
+	return nil
+}
+
+// Watermarks returns the armed thresholds (zero value when disabled).
+func (pm *PhysMem) Watermarks() Watermarks {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.wm
+}
+
+// FreeFrames returns the frames still grantable to ordinary allocations:
+// limit minus live frames minus outstanding reservations. It returns -1
+// for an unbounded pool.
+func (pm *PhysMem) FreeFrames() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.availLocked()
+}
+
+// availLocked is FreeFrames with pm.mu held.
+func (pm *PhysMem) availLocked() int {
+	if pm.limit <= 0 {
+		return -1
+	}
+	return pm.limit - pm.inUse - pm.reserved
+}
+
+// PressureLevel reports the current backpressure level. The disabled path
+// (no watermarks armed — the default) is a single atomic load, so
+// per-allocation polling by the runtime costs nothing on zero-pressure
+// machines.
+func (pm *PhysMem) PressureLevel() Pressure {
+	if !pm.wmOn.Load() {
+		return PressureNone
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	avail := pm.availLocked()
+	switch {
+	case avail <= pm.wm.Min:
+		return PressureMin
+	case avail <= pm.wm.Low:
+		return PressureLow
+	default:
+		return PressureNone
+	}
+}
+
+// Reserve sets n frames aside for the caller. Reserved frames are
+// invisible to ordinary allocations (they tighten the watermark gate) and
+// may be drawn via AllocFrameReserved even below the min watermark — the
+// emergency pool exists exactly for them. Reserve fails only when the pool
+// cannot cover the reservation at all; on an unbounded pool it always
+// succeeds. Callers must eventually ReleaseReserve what they did not draw.
+func (pm *PhysMem) Reserve(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.limit > 0 && pm.inUse+pm.reserved+n > pm.limit {
+		return fmt.Errorf("mem: cannot reserve %d frames (%d in use, %d already reserved, limit %d): %w",
+			n, pm.inUse, pm.reserved, pm.limit, ErrNoMemory)
+	}
+	pm.reserved += n
+	return nil
+}
+
+// ReleaseReserve returns n undrawn reserved frames to the ordinary pool.
+func (pm *PhysMem) ReleaseReserve(n int) {
+	if n <= 0 {
+		return
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.reserved -= n
+	if pm.reserved < 0 {
+		pm.reserved = 0
+	}
+}
+
+// Reserved reports the outstanding (undrawn) reservation count.
+func (pm *PhysMem) Reserved() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.reserved
+}
+
 // AllocFrame returns a zeroed frame from node 0, or an error when physical
 // memory is exhausted. On a flat pool this is the only allocation path.
 func (pm *PhysMem) AllocFrame() (FrameID, error) { return pm.AllocFrameOn(0) }
@@ -102,12 +300,59 @@ func (pm *PhysMem) AllocFrame() (FrameID, error) { return pm.AllocFrameOn(0) }
 // free list is preferred; a fresh frame is grown (and tagged) otherwise.
 // When the global limit is reached the other nodes' free lists serve as
 // fallback, mirroring Linux's zonelist fallback — the frame keeps its
-// original node tag, so the placement really is remote.
+// original node tag, so the placement really is remote. With watermarks
+// armed the allocation additionally refuses (ErrWatermark) to leave fewer
+// than Min frames available.
 func (pm *PhysMem) AllocFrameOn(node int) (FrameID, error) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	return pm.allocLocked(node, false)
+}
+
+// AllocFrameReserved draws one frame against an outstanding reservation:
+// it bypasses the watermark gate (the reservation already set the frame
+// aside) and decrements the reservation count. Without an outstanding
+// reservation it behaves exactly like AllocFrameOn.
+func (pm *PhysMem) AllocFrameReserved(node int) (FrameID, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.reserved <= 0 {
+		return pm.allocLocked(node, false)
+	}
+	id, err := pm.allocLocked(node, true)
+	if err == nil {
+		pm.reserved--
+	}
+	return id, err
+}
+
+// FreeFrameToReserve frees a frame drawn by AllocFrameReserved, crediting
+// the reservation back, so a reservation can back an unbounded sequence of
+// transient draws (bounce buffers) without depleting.
+func (pm *PhysMem) FreeFrameToReserve(id FrameID) {
+	if id == NilFrame {
+		return
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.freeLocked(id)
+	pm.reserved++
+}
+
+// allocLocked is the allocator core; callers hold mu. reserved draws skip
+// the watermark gate but never the hard limit.
+func (pm *PhysMem) allocLocked(node int, reserved bool) (FrameID, error) {
 	if node < 0 || node >= pm.nodes {
 		node = 0
+	}
+	if !reserved && pm.limit > 0 && pm.wmOn.Load() {
+		// Gate before touching any free list: granting this frame must
+		// leave at least Min frames available to reservation holders.
+		if pm.availLocked()-1 < pm.wm.Min {
+			return NilFrame, fmt.Errorf(
+				"mem: %w (min %d, %d available, %d reserved, %d/%d frames in use)",
+				ErrWatermark, pm.wm.Min, pm.availLocked(), pm.reserved, pm.inUse, pm.limit)
+		}
 	}
 	cur := *pm.table.Load()
 	if id, ok := pm.popFree(node); ok {
@@ -116,6 +361,8 @@ func (pm *PhysMem) AllocFrameOn(node int) (FrameID, error) {
 		return id, nil
 	}
 	if pm.limit > 0 && len(cur)-1 >= pm.limit {
+		// The pool is fully grown: spill over the other nodes' free lists
+		// (Linux's zonelist fallback) before declaring exhaustion.
 		for i := 1; i < pm.nodes; i++ {
 			if id, ok := pm.popFree((node + i) % pm.nodes); ok {
 				*cur[id] = [PageSize]byte{}
@@ -123,7 +370,7 @@ func (pm *PhysMem) AllocFrameOn(node int) (FrameID, error) {
 				return id, nil
 			}
 		}
-		return NilFrame, fmt.Errorf("mem: out of physical memory (%d frames)", pm.limit)
+		return NilFrame, fmt.Errorf("mem: %w (%d frames)", ErrNoMemory, pm.limit)
 	}
 	next := cur
 	if len(cur) == cap(cur) {
@@ -155,14 +402,22 @@ func (pm *PhysMem) popFree(node int) (FrameID, bool) {
 	return id, true
 }
 
-// AllocFrames allocates n frames, returning an error (and freeing any
-// partial allocation) if physical memory runs out.
+// AllocFrames allocates n frames from node 0, returning an error (and
+// freeing any partial allocation) if physical memory runs out.
 func (pm *PhysMem) AllocFrames(n int) ([]FrameID, error) {
+	return pm.AllocFramesOn(0, n)
+}
+
+// AllocFramesOn is AllocFrames with node placement: every frame prefers
+// the given node and spills like AllocFrameOn.
+func (pm *PhysMem) AllocFramesOn(node, n int) ([]FrameID, error) {
 	ids := make([]FrameID, 0, n)
 	for i := 0; i < n; i++ {
-		id, err := pm.AllocFrame()
+		id, err := pm.AllocFrameOn(node)
 		if err != nil {
-			pm.FreeFrames(ids)
+			for _, got := range ids {
+				pm.FreeFrame(got)
+			}
 			return nil, err
 		}
 		ids = append(ids, id)
@@ -179,6 +434,11 @@ func (pm *PhysMem) FreeFrame(id FrameID) {
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	pm.freeLocked(id)
+}
+
+// freeLocked returns a frame to its node's free list; callers hold mu.
+func (pm *PhysMem) freeLocked(id FrameID) {
 	node := 0
 	if tab := *pm.nodeTab.Load(); int(id) < len(tab) {
 		node = int(tab[id])
@@ -188,13 +448,6 @@ func (pm *PhysMem) FreeFrame(id FrameID) {
 	}
 	pm.free[node] = append(pm.free[node], id)
 	pm.inUse--
-}
-
-// FreeFrames frees each frame in ids.
-func (pm *PhysMem) FreeFrames(ids []FrameID) {
-	for _, id := range ids {
-		pm.FreeFrame(id)
-	}
 }
 
 // Frame returns the byte storage of a frame. It panics on NilFrame or an
@@ -216,3 +469,55 @@ func (pm *PhysMem) FramesInUse() int {
 
 // Limit reports the configured frame limit (0 = unlimited).
 func (pm *PhysMem) Limit() int { return pm.limit }
+
+// NodeUsage is the per-node slice of a Usage report.
+type NodeUsage struct {
+	Node  int
+	Grown int // frames ever placed on this node
+	Free  int // of those, currently on the node's free list
+}
+
+// Usage is a point-in-time snapshot of the allocator's accounting — the
+// raw material of OOM-style diagnostics.
+type Usage struct {
+	Limit      int // 0 = unlimited
+	Grown      int // frames ever created
+	InUse      int
+	Reserved   int
+	Available  int // limit - inUse - reserved; -1 when unlimited
+	Watermarks Watermarks
+	Pressure   Pressure
+	Nodes      []NodeUsage
+}
+
+// Usage snapshots the allocator state under one lock acquisition.
+func (pm *PhysMem) Usage() Usage {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	u := Usage{
+		Limit:      pm.limit,
+		Grown:      len(*pm.table.Load()) - 1,
+		InUse:      pm.inUse,
+		Reserved:   pm.reserved,
+		Available:  pm.availLocked(),
+		Watermarks: pm.wm,
+		Nodes:      make([]NodeUsage, pm.nodes),
+	}
+	if pm.wm.Enabled() {
+		switch {
+		case u.Available <= pm.wm.Min:
+			u.Pressure = PressureMin
+		case u.Available <= pm.wm.Low:
+			u.Pressure = PressureLow
+		}
+	}
+	for n := range u.Nodes {
+		u.Nodes[n] = NodeUsage{Node: n, Free: len(pm.free[n])}
+	}
+	for _, tag := range (*pm.nodeTab.Load())[1:] {
+		if int(tag) < len(u.Nodes) {
+			u.Nodes[tag].Grown++
+		}
+	}
+	return u
+}

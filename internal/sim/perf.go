@@ -45,6 +45,12 @@ type Perf struct {
 	SwapFallbacks  uint64 // per-object degradations to byte copy
 	SwapRollbacks  uint64 // transactional undos of partial swaps
 	IPIResends     uint64 // shootdown IPIs re-sent after ack timeouts
+
+	// Pressure plane (zero unless watermarks are armed).
+	PressureStalls uint64 // mutator allocations stalled at the low watermark
+	EmergencyGCs   uint64 // collections triggered by memory pressure
+	ReservedAllocs uint64 // frames drawn from the GC reserve pool
+	EvacFailures   uint64 // evacuation compactions degraded to in-place slide
 }
 
 // Add accumulates other into p.
@@ -77,6 +83,10 @@ func (p *Perf) Add(other *Perf) {
 	p.SwapFallbacks += other.SwapFallbacks
 	p.SwapRollbacks += other.SwapRollbacks
 	p.IPIResends += other.IPIResends
+	p.PressureStalls += other.PressureStalls
+	p.EmergencyGCs += other.EmergencyGCs
+	p.ReservedAllocs += other.ReservedAllocs
+	p.EvacFailures += other.EvacFailures
 }
 
 // Reset zeroes all counters.

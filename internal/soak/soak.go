@@ -1,0 +1,221 @@
+// Package soak runs the memory-pressure endurance loop: repeated cycles
+// of heap churn, full collections, and forced pressure episodes (ballast
+// to the low watermark for an emergency collection, then to the min
+// watermark for a fail-fast), with machine-level invariants checked after
+// every cycle. The loop is bounded by host wall time — the CI smoke runs
+// it for a few seconds, a nightly run for minutes — but each cycle is the
+// same deterministic simulated work, so a failure reproduces from its
+// cycle number and seed.
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/jvm"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Machine shape shared with the oom1 experiment: small enough that a
+// pressure episode is a few thousand page mappings.
+const (
+	soakPhysFrames = 4096
+	soakHeapBytes  = 4 << 20
+	// ballastVA is the fixed base of the ballast mapping window, far above
+	// any MapRegion allocation; reusing the same window every cycle means
+	// its page tables are built once, keeping the frames-in-use baseline
+	// flat across cycles.
+	ballastVA = uint64(1) << 40
+)
+
+var soakWatermarks = mem.Watermarks{Min: 8, Low: 16, High: 32}
+
+// goroutineSlack tolerates host-runtime goroutines that come and go
+// outside our control; a real leak grows per cycle and blows past it.
+const goroutineSlack = 4
+
+// Config tunes a soak run.
+type Config struct {
+	// Collector is a jvm preset name built on the lisp2 engine (svagc,
+	// svagc-memmove, copygc). Default svagc.
+	Collector string
+	// GCWorkers is the GC thread count (default 4).
+	GCWorkers int
+	// Duration is the host wall-time budget; at least two cycles always run
+	// (one warm-up plus one checked). Default 2s.
+	Duration time.Duration
+	// Watchdog arms the per-phase GC deadline (0 = off).
+	Watchdog sim.Time
+	// Seed drives the churn shape (default 42).
+	Seed int64
+	// Log, when set, receives a progress line per cycle.
+	Log io.Writer
+}
+
+// Result summarises a completed soak.
+type Result struct {
+	Cycles      int
+	Collections int
+	Degraded    uint64 // swap→memmove and evacuate→slide fallbacks
+	Stalls      uint64 // low-watermark mutator stalls
+	Emergency   uint64 // emergency collections triggered by pressure
+	FailFasts   uint64 // min-watermark structured allocation refusals
+	Baseline    int    // frames-in-use invariant baseline
+	SimTime     sim.Time
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%d cycles, %d collections (%d degraded moves), %d stalls, %d emergency GCs, %d fail-fasts, baseline %d frames, %v simulated",
+		r.Cycles, r.Collections, r.Degraded, r.Stalls, r.Emergency, r.FailFasts, r.Baseline, r.SimTime)
+}
+
+// Run executes the soak loop and returns an error on the first invariant
+// violation (frame leak, goroutine growth, missing fail-fast, or a GC
+// failure — including a watchdog abort, which is a finding, not a hang).
+func Run(cfg Config) (*Result, error) {
+	collector := cfg.Collector
+	if collector == "" {
+		collector = jvm.CollectorSVAGC
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	workers := cfg.GCWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+
+	m, err := machine.New(machine.Config{
+		Cost:         sim.XeonGold6130(),
+		PhysBytes:    soakPhysFrames << mem.PageShift,
+		Watermarks:   soakWatermarks,
+		SingleDriver: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jcfg, ok := jvm.ConfigForDeadline(collector, soakHeapBytes, 1, workers, cfg.Watchdog)
+	if !ok {
+		return nil, fmt.Errorf("soak: unknown collector %q (want %v)", collector, jvm.CollectorNames())
+	}
+	j, err := jvm.New(m, jcfg)
+	if err != nil {
+		return nil, err
+	}
+	th := j.Thread(0)
+	ballast := m.NewAddressSpace()
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{}
+
+	sizes := []int{96, 4096, 16 << 10, 64 << 10}
+	var live []*gc.Root
+
+	cycle := func(n int) error {
+		// Churn: drop the previous cycle's survivors, allocate a fresh set.
+		for _, r := range live {
+			j.Roots.Remove(r)
+		}
+		live = live[:0]
+		for i := 0; i < 48; i++ {
+			spec := heap.AllocSpec{Payload: sizes[rng.Intn(len(sizes))], Class: uint16(1 + i%7)}
+			r, err := th.AllocRooted(spec)
+			if err != nil {
+				return fmt.Errorf("cycle %d: churn alloc: %w", n, err)
+			}
+			live = append(live, r)
+		}
+		if _, err := j.CollectNow(); err != nil {
+			return fmt.Errorf("cycle %d: collection: %w", n, err)
+		}
+
+		// Pressure episode: ballast to the low watermark and allocate —
+		// the mutator must stall and trigger an emergency collection, not
+		// fail.
+		mapped := 0
+		for m.Phys.FreeFrames() > soakWatermarks.Low {
+			if err := ballast.Map(ballastVA+uint64(mapped)<<mem.PageShift, 1); err != nil {
+				return fmt.Errorf("cycle %d: ballast to low: %w", n, err)
+			}
+			mapped++
+		}
+		if _, err := th.Alloc(heap.AllocSpec{Payload: 256}); err != nil {
+			return fmt.Errorf("cycle %d: allocation at the low watermark failed (want stall): %w", n, err)
+		}
+		// Deeper: ballast to the min watermark — allocation must now fail
+		// fast with the structured pressure error.
+		for m.Phys.FreeFrames() > soakWatermarks.Min {
+			if err := ballast.Map(ballastVA+uint64(mapped)<<mem.PageShift, 1); err != nil {
+				return fmt.Errorf("cycle %d: ballast to min: %w", n, err)
+			}
+			mapped++
+		}
+		_, allocErr := th.Alloc(heap.AllocSpec{Payload: 256})
+		if !errors.Is(allocErr, jvm.ErrMemoryPressure) {
+			return fmt.Errorf("cycle %d: allocation at the min watermark returned %v, want ErrMemoryPressure", n, allocErr)
+		}
+		res.FailFasts++
+		ballast.Unmap(ballastVA, mapped, true)
+
+		// Collect once more with pressure released so the next cycle starts
+		// from a compacted heap.
+		if _, err := j.CollectNow(); err != nil {
+			return fmt.Errorf("cycle %d: post-episode collection: %w", n, err)
+		}
+		return nil
+	}
+
+	// Warm-up cycle: builds the ballast window's page tables and settles
+	// the pool, then the invariant baselines are pinned.
+	if err := cycle(0); err != nil {
+		return res, err
+	}
+	res.Cycles = 1
+	res.Baseline = int(m.Phys.Usage().InUse)
+	gBase := runtime.NumGoroutine()
+
+	start := time.Now()
+	for n := 1; n == 1 || time.Since(start) < duration; n++ {
+		if err := cycle(n); err != nil {
+			return res, err
+		}
+		res.Cycles++
+		// Invariant: every frame the cycle took is back — the pool returns
+		// to the warm baseline exactly, every cycle.
+		if got := int(m.Phys.Usage().InUse); got != res.Baseline {
+			return res, fmt.Errorf("cycle %d: frame leak: %d frames in use, baseline %d\n%s",
+				n, got, res.Baseline, m.MemReport())
+		}
+		if rsv := m.Phys.Reserved(); rsv != 0 {
+			return res, fmt.Errorf("cycle %d: reservation leak: %d frames still reserved", n, rsv)
+		}
+		// Invariant: the host goroutine count is flat (no leaked workers).
+		if got := runtime.NumGoroutine(); got > gBase+goroutineSlack {
+			return res, fmt.Errorf("cycle %d: goroutine growth: %d running, baseline %d", n, got, gBase)
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "soak: cycle %d ok (%d collections, %v simulated)\n",
+				n, j.GCCount(""), j.AppTime())
+		}
+	}
+
+	perf := j.TotalPerf()
+	res.Collections = j.GCCount("")
+	res.Degraded = j.GC.Stats().Degraded()
+	res.Stalls = perf.PressureStalls
+	res.Emergency = perf.EmergencyGCs
+	res.SimTime = j.AppTime()
+	return res, nil
+}

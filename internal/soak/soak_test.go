@@ -1,0 +1,60 @@
+package soak
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/jvm"
+	"repro/internal/sim"
+)
+
+// TestSoakSVAGC runs a short soak under the paper's collector: at least
+// one checked cycle, every invariant holding, and both pressure paths
+// (emergency GC and fail-fast) exercised each cycle.
+func TestSoakSVAGC(t *testing.T) {
+	res, err := Run(Config{
+		Collector: jvm.CollectorSVAGC,
+		Duration:  200 * time.Millisecond,
+		Watchdog:  10 * sim.Second,
+	})
+	if err != nil {
+		t.Fatalf("soak failed: %v (after %+v)", err, res)
+	}
+	if res.Cycles < 2 {
+		t.Fatalf("ran %d cycles, want >= 2 (warm-up plus checked)", res.Cycles)
+	}
+	if res.FailFasts < uint64(res.Cycles) {
+		t.Errorf("fail-fasts %d < cycles %d; every cycle must hit the min watermark", res.FailFasts, res.Cycles)
+	}
+	if res.Emergency == 0 || res.Stalls == 0 {
+		t.Errorf("no emergency collections (%d) or stalls (%d) recorded", res.Emergency, res.Stalls)
+	}
+	if res.Collections == 0 || res.SimTime <= 0 {
+		t.Errorf("empty soak: %+v", res)
+	}
+}
+
+// TestSoakCopyGC soaks the evacuating baseline: pressure episodes drive it
+// through the degrade-to-slide path, and the same leak invariants hold.
+func TestSoakCopyGC(t *testing.T) {
+	res, err := Run(Config{
+		Collector: jvm.CollectorCopy,
+		Duration:  200 * time.Millisecond,
+		Watchdog:  10 * sim.Second,
+	})
+	if err != nil {
+		t.Fatalf("soak failed: %v (after %+v)", err, res)
+	}
+	if res.Cycles < 2 {
+		t.Fatalf("ran %d cycles, want >= 2", res.Cycles)
+	}
+	if res.Degraded == 0 {
+		t.Error("copygc soak never degraded despite min-watermark episodes")
+	}
+}
+
+func TestSoakRejectsUnknownCollector(t *testing.T) {
+	if _, err := Run(Config{Collector: "zgc", Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown collector accepted")
+	}
+}

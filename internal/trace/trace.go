@@ -80,8 +80,15 @@ const (
 	// KindRollback is one transactional undo of a partially applied swap
 	// request. Arg1 = undo operations replayed, Arg2 = request VA1.
 	KindRollback
+	// KindPressure is a memory-pressure event: an allocation stall,
+	// emergency-GC trigger, or fail-fast refusal. Arg1 = pressure level,
+	// Arg2 = available frames at the event.
+	KindPressure
+	// KindWatchdog is a GC-watchdog deadline expiry. Arg1 = elapsed ns in
+	// the stuck phase, Arg2 = the armed deadline ns.
+	KindWatchdog
 
-	numKinds = int(KindRollback) + 1
+	numKinds = int(KindWatchdog) + 1
 )
 
 // String returns the stable lower-case name used in metrics labels and
@@ -118,6 +125,10 @@ func (k Kind) String() string {
 		return "fallback"
 	case KindRollback:
 		return "rollback"
+	case KindPressure:
+		return "pressure"
+	case KindWatchdog:
+		return "watchdog"
 	default:
 		return "unknown"
 	}
@@ -174,6 +185,8 @@ func (k Kind) Category() string {
 		return "kernel"
 	case KindFault, KindRetry, KindFallback:
 		return "fault"
+	case KindPressure, KindWatchdog:
+		return "pressure"
 	case KindFlushLocal, KindFlushPage, KindShootdown:
 		return "tlb"
 	case KindBus:
