@@ -42,6 +42,7 @@ func main() {
 		faultPln = flag.String("fault-plan", "", "fault-injection plan: comma-separated site=rate (sites: pte-lock, ipi-ack, swapva, poison, interconnect, all), e.g. 'swapva=0.01,poison=1e-4'")
 		faultRt  = flag.Float64("fault-rate", 0, "uniform fault rate applied to every site (per-site -fault-plan entries override it)")
 		faultSd  = flag.Int64("fault-seed", 0, "fault-injection seed; the same seed and plan replay the identical fault sequence (0 = workload seed)")
+		exact    = flag.Bool("exact", false, "force exact per-word cost charging instead of epoch-batched run settlement (bit-identical output, slower host runtime; exists for parity checking)")
 	)
 	flag.Parse()
 
@@ -64,7 +65,8 @@ func main() {
 	opt := bench.Options{Quick: *quick, GCWorkers: *workers, Seed: *seed,
 		Sockets: *sockets, NUMAPolicy: policy, NUMABind: bind,
 		Parallel:  *parallel,
-		FaultPlan: *faultPln, FaultRate: *faultRt, FaultSeed: *faultSd}
+		FaultPlan: *faultPln, FaultRate: *faultRt, FaultSeed: *faultSd,
+		Exact: *exact}
 	if _, err := opt.FaultInjector(); err != nil {
 		fmt.Fprintln(os.Stderr, "gcbench:", err)
 		os.Exit(2)

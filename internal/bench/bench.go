@@ -67,6 +67,12 @@ type Options struct {
 	// rows and series are always assembled in input order by the calling
 	// goroutine, workers only warm the memoised run cache.
 	Parallel int
+	// Exact forces declared access runs down the exact per-word charging
+	// path (machine.Config.ExactCharging). Simulated results are
+	// bit-identical with or without it — the parity suite and the -exact
+	// CLI flag exist to prove exactly that — so the only observable
+	// difference is host wall time.
+	Exact bool
 }
 
 func (o Options) cost() *sim.CostModel {
@@ -135,7 +141,8 @@ func (o Options) machineConfig() machine.Config {
 		// Each workload run is driven by exactly one host goroutine (the
 		// prefetch worker or the assembling figure), so the machine's
 		// shared-LLC locks can be elided.
-		SingleDriver: true,
+		SingleDriver:  true,
+		ExactCharging: o.Exact,
 	}
 }
 
@@ -351,6 +358,9 @@ var (
 //     of one run → excluded.
 //   - OnMachine, Parallel: host-side execution policy; OnMachine bypasses
 //     the cache entirely, Parallel only schedules → excluded.
+//   - Exact: contractually does NOT change results, but it is serialised
+//     anyway so the batched-vs-exact parity suite really executes both
+//     paths instead of one path and a cache hit.
 //
 // Floats are serialised with strconv.FormatFloat(f, 'g', -1, 64) — the
 // shortest exact representation — because fixed-precision formatting
@@ -365,6 +375,7 @@ func cacheKey(opt Options, collector, bench string, factor float64, jvms int) st
 		opt.NUMAPolicy.String(), strconv.Itoa(opt.NUMABind),
 		opt.FaultPlan, strconv.FormatFloat(opt.FaultRate, 'g', -1, 64),
 		strconv.FormatInt(opt.FaultSeed, 10),
+		strconv.FormatBool(opt.Exact),
 	}, "|")
 }
 

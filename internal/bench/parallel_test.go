@@ -19,7 +19,7 @@ import (
 // checklist cacheKey's comment promises.
 var (
 	keyFields = []string{"Cost", "GCWorkers", "Seed", "Sockets", "NUMAPolicy", "NUMABind",
-		"FaultPlan", "FaultRate", "FaultSeed"}
+		"FaultPlan", "FaultRate", "FaultSeed", "Exact"}
 	excludedFields = []string{"Quick", "OnMachine", "Parallel"}
 )
 
@@ -69,6 +69,7 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 		{"FaultPlan", cacheKey(Options{FaultPlan: "swapva=0.1"}, "svagc", "CryptoAES", 1.2, 1)},
 		{"FaultRate", cacheKey(Options{FaultRate: 0.01}, "svagc", "CryptoAES", 1.2, 1)},
 		{"FaultSeed", cacheKey(Options{FaultSeed: 9}, "svagc", "CryptoAES", 1.2, 1)},
+		{"Exact", cacheKey(Options{Exact: true}, "svagc", "CryptoAES", 1.2, 1)},
 	}
 	seen := map[string]string{}
 	for _, v := range variants {
@@ -99,12 +100,32 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 
 // TestParallelParityQuick is the determinism contract of the -parallel
 // flag: every experiment's quick output must be byte-identical whether
-// the sweep runs serially or fanned out over 8 host workers.
+// the sweep runs serially or fanned out over 8 host workers — and so must
+// every memoised run's full Perf snapshot, counter for counter. The
+// snapshot comparison is what keeps counters honest: TLBMisses once
+// varied with host scheduling (a reader racing a seqlock writer degraded
+// to a miss), which rendered output could not detect because misses only
+// surface in table3. Only TLBSeqlockRetries may differ between the two
+// sweeps — it counts those benign races by design.
 func TestParallelParityQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick sweep twice")
 	}
-	render := func(parallel int) map[string]string {
+	snapshotPerfs := func() map[string]sim.Perf {
+		out := map[string]sim.Perf{}
+		cacheMu.Lock()
+		defer cacheMu.Unlock()
+		for key, call := range runCache {
+			if call.r == nil {
+				continue
+			}
+			p := call.r.Perf
+			p.TLBSeqlockRetries = 0
+			out[key] = p
+		}
+		return out
+	}
+	render := func(parallel int) (map[string]string, map[string]sim.Perf) {
 		ResetCache()
 		defer ResetCache()
 		out := map[string]string{}
@@ -115,14 +136,25 @@ func TestParallelParityQuick(t *testing.T) {
 			}
 			out[res.ID] = res.Format()
 		})
-		return out
+		return out, snapshotPerfs()
 	}
-	serial := render(1)
-	fanned := render(8)
+	serial, serialPerfs := render(1)
+	fanned, fannedPerfs := render(8)
 	for id, want := range serial {
 		if got := fanned[id]; got != want {
 			t.Errorf("%s differs between -parallel=1 and -parallel=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				id, want, got)
+		}
+	}
+	if len(serialPerfs) != len(fannedPerfs) {
+		t.Errorf("serial sweep memoised %d runs, parallel %d", len(serialPerfs), len(fannedPerfs))
+	}
+	for key, want := range serialPerfs {
+		if got, ok := fannedPerfs[key]; !ok {
+			t.Errorf("run %q missing from the parallel sweep", key)
+		} else if got != want {
+			t.Errorf("run %q Perf differs between -parallel=1 and -parallel=8:\nserial:   %+v\nparallel: %+v",
+				key, want, got)
 		}
 	}
 	// The fanned output must also still match the checked-in goldens —

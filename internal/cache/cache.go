@@ -50,7 +50,10 @@ type Cache struct {
 	// exactly the unfiltered behaviour; concurrent goroutines may observe
 	// a just-evicted line as one extra hit, equivalent to an adjacent
 	// legal interleaving (the same latitude the seqlock TLB takes).
-	lastLine atomic.Uint64
+	// Accessed through lastLineLoad/lastLineStore, which use atomics only
+	// when the cache is shared — the exclusive (single-driver) probe path
+	// would otherwise pay an XCHG on every single access.
+	lastLine uint64
 }
 
 // tickStride spaces the per-set LRU clocks eight words apart so adjacent
@@ -125,6 +128,21 @@ func (c *Cache) unlockSet(set int) {
 	c.locks[set].Store(0)
 }
 
+func (c *Cache) lastLineLoad() uint64 {
+	if c.exclusive {
+		return c.lastLine
+	}
+	return atomic.LoadUint64(&c.lastLine)
+}
+
+func (c *Cache) lastLineStore(v uint64) {
+	if c.exclusive {
+		c.lastLine = v
+		return
+	}
+	atomic.StoreUint64(&c.lastLine, v)
+}
+
 // probe touches one line (identified by its line number) within its set
 // and reports whether it hit; the caller holds the set lock. On a miss
 // the line is installed, evicting the set's LRU entry.
@@ -138,24 +156,27 @@ func (c *Cache) probe(line uint64) bool {
 		c.age[m] = tick
 		return true
 	}
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag {
-			c.age[i] = tick
-			c.mru[set] = uint8(i - base)
+	// One combined pass: scan for the tag while tracking the LRU victim,
+	// so a miss — the dominant case on streaming transfers, where this
+	// probe is the simulator's hottest loop — costs one ways-long scan,
+	// not a tag scan plus a victim scan. Victim choice is identical to a
+	// dedicated second pass: first way (ascending) with the smallest age.
+	tags := c.tags[base : base+c.ways]
+	ages := c.age[base : base+c.ways]
+	victim, oldest := 0, ^uint64(0)
+	for i, t := range tags {
+		if t == tag {
+			ages[i] = tick
+			c.mru[set] = uint8(i)
 			return true
 		}
-	}
-	// Miss: second pass finds the LRU victim. Misses pay for the extra
-	// scan; hits (the common case) exit the tight tag-only loop early.
-	victim, oldest := base, c.age[base]
-	for i := base + 1; i < base+c.ways; i++ {
-		if c.age[i] < oldest {
-			victim, oldest = i, c.age[i]
+		if ages[i] < oldest {
+			victim, oldest = i, ages[i]
 		}
 	}
-	c.tags[victim] = tag
-	c.age[victim] = tick
-	c.mru[set] = uint8(victim - base)
+	tags[victim] = tag
+	ages[victim] = tick
+	c.mru[set] = uint8(victim)
 	return false
 }
 
@@ -164,14 +185,14 @@ func (c *Cache) probe(line uint64) bool {
 // entry. Writes and reads are treated alike (allocate-on-write).
 func (c *Cache) Access(pa uint64) bool {
 	line := pa >> c.lineShift
-	if c.lastLine.Load() == line+1 {
+	if c.lastLineLoad() == line+1 {
 		return true
 	}
 	set := int(line & c.setMask)
 	c.lockSet(set)
 	hit := c.probe(line)
 	c.unlockSet(set)
-	c.lastLine.Store(line + 1)
+	c.lastLineStore(line + 1)
 	return hit
 }
 
@@ -189,7 +210,7 @@ func (c *Cache) AccessRange(pa uint64, n int) (hits, misses int) {
 	// the loop's own probes intervene, and a wrapping range (longer than
 	// the cache's set span) could even have evicted a filtered line.
 	line := first
-	if c.lastLine.Load() == first+1 {
+	if c.lastLineLoad() == first+1 {
 		hits++
 		line++
 	}
@@ -204,7 +225,7 @@ func (c *Cache) AccessRange(pa uint64, n int) (hits, misses int) {
 			misses++
 		}
 	}
-	c.lastLine.Store(last + 1)
+	c.lastLineStore(last + 1)
 	return hits, misses
 }
 
@@ -221,7 +242,7 @@ func (c *Cache) InvalidateAll() {
 		c.mru[set] = 0
 		c.unlockSet(set)
 	}
-	c.lastLine.Store(0)
+	c.lastLineStore(0)
 }
 
 // Sets and Ways expose the geometry for tests.

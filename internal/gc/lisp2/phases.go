@@ -23,6 +23,19 @@ func (c *Collector) markPhase(pool *gc.Pool, from, top uint64,
 		return o != 0 && o.VA() >= from && o.VA() < top
 	}
 
+	// Scratch for whole-object reference scans: each scan is one declared
+	// dense run over the ref slots (batched settlement), reusing this
+	// buffer so tracing stays allocation-free.
+	var refBuf []heap.Object
+	refs := func(w *machine.Context, o heap.Object, n int) ([]heap.Object, error) {
+		if cap(refBuf) < n {
+			refBuf = make([]heap.Object, n)
+		}
+		refBuf = refBuf[:n]
+		err := c.H.Refs(w, o, refBuf)
+		return refBuf, err
+	}
+
 	var rootObjs []heap.Object
 	for _, r := range c.Roots.Snapshot() {
 		if inRange(r.Obj) {
@@ -40,11 +53,11 @@ func (c *Collector) markPhase(pool *gc.Pool, from, top uint64,
 			if err != nil {
 				return 0, 0, err
 			}
-			for i := 0; i < meta.NumRefs; i++ {
-				r, err := c.H.Ref(w, holder, i)
-				if err != nil {
-					return 0, 0, err
-				}
+			rs, err := refs(w, holder, meta.NumRefs)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, r := range rs {
 				if inRange(r) {
 					rootObjs = append(rootObjs, r)
 				}
@@ -75,11 +88,11 @@ func (c *Collector) markPhase(pool *gc.Pool, from, top uint64,
 			if err != nil {
 				return err
 			}
-			for i := 0; i < meta.NumRefs; i++ {
-				r, err := c.H.Ref(w, o, i)
-				if err != nil {
-					return err
-				}
+			rs, err := refs(w, o, meta.NumRefs)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
 				if inRange(r) {
 					stack = append(stack, r)
 				}

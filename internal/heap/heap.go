@@ -161,15 +161,16 @@ func (h *Heap) AllocStats() (objects, bytes uint64) {
 	return h.allocatedObjects, h.allocatedBytes
 }
 
-// writeHeader emits a full object header at va (charged).
+// writeHeader emits a full object header at va (charged) as one declared
+// three-word run — the allocation fast path settles it in a single
+// batched charge on machines where batching is enabled.
 func (h *Heap) writeHeader(ctx *machine.Context, va uint64, spec AllocSpec) error {
-	if err := h.AS.WriteWord(&ctx.Env, va, packWord0(spec.TotalBytes(), false, false)); err != nil {
-		return err
+	words := [3]uint64{
+		packWord0(spec.TotalBytes(), false, false),
+		packWord1(spec.NumRefs, spec.Class, 0),
+		0, // forwarding word
 	}
-	if err := h.AS.WriteWord(&ctx.Env, va+8, packWord1(spec.NumRefs, spec.Class, 0)); err != nil {
-		return err
-	}
-	return h.AS.WriteWord(&ctx.Env, va+16, 0)
+	return h.AS.WriteRun(&ctx.Env, va, words[:])
 }
 
 // WriteFiller emits a filler object covering [va, va+size). Size must be

@@ -1,0 +1,46 @@
+package heap
+
+import "repro/internal/machine"
+
+// Batched (declared-run) accessors. Each helper is the run-API
+// counterpart of a per-word loop elsewhere in the package, with the same
+// access order and charges — collectors and workloads that scan an
+// object's slots densely use these so the machine can settle the whole
+// scan in closed form (see mmu.Run).
+
+// Refs reads the object's first len(dst) reference slots (charged) into
+// dst as one dense run — the batched equivalent of calling Ref for
+// i = 0..len(dst)-1.
+func (h *Heap) Refs(ctx *machine.Context, o Object, dst []Object) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	var stack [8]uint64
+	buf := stack[:]
+	if len(dst) > len(buf) {
+		buf = make([]uint64, len(dst))
+	} else {
+		buf = buf[:len(dst)]
+	}
+	if err := h.AS.ReadRun(&ctx.Env, o.RefSlotVA(0), buf); err != nil {
+		return err
+	}
+	for i, w := range buf {
+		dst[i] = Object(w)
+	}
+	return nil
+}
+
+// ReadPayloadWords reads len(dst) consecutive 8-byte payload words
+// starting at byte offset off (charged). numRefs must match the object's
+// layout; off must be 8-aligned.
+func (h *Heap) ReadPayloadWords(ctx *machine.Context, o Object, numRefs, off int, dst []uint64) error {
+	return h.AS.ReadRun(&ctx.Env, o.PayloadVA(numRefs)+uint64(off), dst)
+}
+
+// WritePayloadWords writes src as consecutive 8-byte payload words
+// starting at byte offset off (charged). Payload words carry no
+// references, so no write barrier applies.
+func (h *Heap) WritePayloadWords(ctx *machine.Context, o Object, numRefs, off int, src []uint64) error {
+	return h.AS.WriteRun(&ctx.Env, o.PayloadVA(numRefs)+uint64(off), src)
+}

@@ -67,6 +67,29 @@ func (v *NUMAView) LatencyAt(pa uint64) float64 {
 	return lat
 }
 
+// LocalAt implements mmu.NUMA: whether pa's frame lives on this view's
+// own socket. Pure routing — no counters, no trace events — so batched
+// settlement can probe a page segment before deciding how to charge it.
+func (v *NUMAView) LocalAt(pa uint64) bool {
+	return v.nodeOf(pa) == v.socket
+}
+
+// LatencyAtN implements mmu.NUMA: it accounts n node-local latency-bound
+// accesses to pa's page exactly as n LatencyAt calls would — local
+// counter, trace observations and all — and returns their shared
+// per-access latency. Batched settlement only calls it for pages LocalAt
+// approved, where the contention factor is constant across the segment.
+func (v *NUMAView) LatencyAtN(pa uint64, n int) float64 {
+	node := v.nodeOf(pa)
+	v.perf.NUMALocal += uint64(n)
+	if v.buf != nil {
+		for i := 0; i < n; i++ {
+			v.buf.ObserveNUMA(false, 0)
+		}
+	}
+	return float64(v.m.Cost.DRAMAccessNs) * v.m.buses[node].LatencyFactor()
+}
+
 // BWAt implements mmu.NUMA: the effective streaming bandwidth for an
 // n-byte sequential transfer touching pa. Local streams run at the node
 // bus's contended rate; remote streams are throttled by the slower of the
@@ -131,9 +154,9 @@ func (v *NUMAView) CrossNodeStoreNs(paIn, paOut uint64) sim.Time {
 	return v.crossingNs()
 }
 
-// crossingNs is the contended cost of one interconnect crossing.
+// crossingNs is the contended cost of one interconnect crossing,
+// including this access's brownout roll.
 func (v *NUMAView) crossingNs() sim.Time {
-	topo := v.m.topo
-	return sim.Time(float64(topo.RemoteLatNs()) *
-		topo.LinkLatencyFactor(v.m.TotalStreams()) * v.brownoutFactor())
+	return sim.Time(float64(v.m.topo.CrossingNs(v.m.TotalStreams())) *
+		v.brownoutFactor())
 }

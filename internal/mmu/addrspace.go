@@ -261,14 +261,16 @@ func (as *AddressSpace) Translate(env *Env, va uint64) (uint64, error) {
 func (as *AddressSpace) translatePage(env *Env, va uint64) (mem.FrameID, error) {
 	vpn := VPN(va)
 	env.Perf.TLBLookups++
-	if f, ok := env.TLB.Lookup(as.ASID, vpn); ok {
+	f, ok, retries := env.TLB.LookupCounted(as.ASID, vpn)
+	env.Perf.TLBSeqlockRetries += retries
+	if ok {
 		env.Clock.Advance(env.Cost.TLBHitNs)
 		return f, nil
 	}
 	env.Perf.TLBMisses++
 	env.Perf.PTWalks++
 	env.Clock.Advance(env.Cost.WalkNs())
-	f, ok := as.Lookup(va)
+	f, ok = as.Lookup(va)
 	if !ok {
 		return mem.NilFrame, badVA("translate", va)
 	}

@@ -26,6 +26,15 @@ type Env struct {
 	// every charged access; a flat (single-socket) machine leaves it nil,
 	// keeping the original cost behaviour bit-for-bit.
 	NUMA NUMA
+	// Batch enables epoch-batched settlement of declared access runs
+	// (ChargeRun/ReadRun/WriteRun integrate each run in closed form
+	// instead of charging word by word). The machine layer sets it from
+	// its fallback predicate: it stays false — forcing the exact per-word
+	// path — whenever a tracer, a fault plan, or armed watermarks demand
+	// per-access observability, or when multiple host goroutines may
+	// drive the machine. Settlement is bit-identical either way; the flag
+	// only selects how fast the same numbers are produced.
+	Batch bool
 }
 
 // NUMA is the placement-aware cost view a multi-socket machine installs on
@@ -38,6 +47,18 @@ type NUMA interface {
 	// BWAt returns the effective streaming bandwidth (GB/s) for an n-byte
 	// sequential transfer touching physical address pa.
 	BWAt(pa uint64, n int) float64
+	// LocalAt reports whether pa resolves to the caller's own node. It
+	// must not count an access: batched settlement uses it to route each
+	// page segment — node-local pages settle in closed form, cross-socket
+	// streams fall back to the exact per-word path (the run API's
+	// contention boundary).
+	LocalAt(pa uint64) bool
+	// LatencyAtN is the interconnect batch entry: it accounts n
+	// same-page latency-bound accesses (n >= 1) exactly as n LatencyAt
+	// calls would — counters included — and returns the shared per-access
+	// latency. Only called for node-local pages, where the factor is
+	// constant across a run segment.
+	LatencyAtN(pa uint64, n int) float64
 }
 
 // NewEnv builds a self-contained Env (own clock, counters and TLB) for the

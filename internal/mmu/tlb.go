@@ -71,22 +71,41 @@ func (t *TLB) lockEntry(i uint64) uint32 {
 }
 
 // Lookup returns the cached frame for (asid, vpn). It is lock-free: the
-// generation is read before and after the entry words, and any
-// intervening writer turns the hit into a (safe) miss.
+// generation is read before and after the entry words, bracketing a
+// consistent snapshot.
 func (t *TLB) Lookup(asid uint32, vpn uint64) (mem.FrameID, bool) {
+	f, ok, _ := t.LookupCounted(asid, vpn)
+	return f, ok
+}
+
+// LookupCounted is Lookup plus the number of seqlock retries the read
+// needed. A reader that races a writer used to degrade to a miss, which
+// made Perf.TLBMisses depend on host scheduling; instead the read now
+// retries until a stable generation pair brackets the entry words, so the
+// hit/miss outcome reflects actual table contents (deterministic given
+// deterministic tables) and only the retry count — reported separately as
+// Perf.TLBSeqlockRetries — varies with scheduling. Writer critical
+// sections are a handful of stores, so the spin is momentary.
+func (t *TLB) LookupCounted(asid uint32, vpn uint64) (mem.FrameID, bool, uint64) {
 	i := vpn & t.mask
-	s := t.seq[i].Load()
-	if s&1 != 0 {
-		return mem.NilFrame, false
+	var retries uint64
+	for {
+		s := t.seq[i].Load()
+		if s&1 != 0 {
+			retries++
+			continue
+		}
+		key := t.keys[i].Load()
+		f := mem.FrameID(t.frames[i].Load())
+		if t.seq[i].Load() != s {
+			retries++
+			continue
+		}
+		if key != tlbKey(asid, vpn) {
+			return mem.NilFrame, false, retries
+		}
+		return f, true, retries
 	}
-	if t.keys[i].Load() != tlbKey(asid, vpn) {
-		return mem.NilFrame, false
-	}
-	f := mem.FrameID(t.frames[i].Load())
-	if t.seq[i].Load() != s {
-		return mem.NilFrame, false
-	}
-	return f, true
 }
 
 // Insert caches a translation, evicting whatever shared its slot.

@@ -17,6 +17,17 @@ type Perf struct {
 	TLBMisses   uint64 // lookups that required a page-table walk
 	PTWalks     uint64 // full walks performed
 	PTLevelHits uint64 // walk levels skipped thanks to the PMD cache
+	// TLBSeqlockRetries counts reader re-reads of a TLB entry whose
+	// seqlock a writer held mid-lookup. Kept separate from TLBMisses so
+	// the miss counter reflects table contents only and stays
+	// deterministic under host-parallel driving; retries are the only
+	// schedule-dependent figure.
+	TLBSeqlockRetries uint64
+
+	// Epoch-batched charging (declared access runs and their settlement).
+	ChargeRuns   uint64 // runs declared via ChargeRun/ReadRun/WriteRun
+	RunWords     uint64 // words covered by declared runs
+	RunFallbacks uint64 // runs settled via the exact per-word path
 
 	// TLB coherence.
 	TLBFlushLocal uint64 // whole-ASID local flushes
@@ -63,6 +74,10 @@ func (p *Perf) Add(other *Perf) {
 	p.TLBMisses += other.TLBMisses
 	p.PTWalks += other.PTWalks
 	p.PTLevelHits += other.PTLevelHits
+	p.TLBSeqlockRetries += other.TLBSeqlockRetries
+	p.ChargeRuns += other.ChargeRuns
+	p.RunWords += other.RunWords
+	p.RunFallbacks += other.RunFallbacks
 	p.TLBFlushLocal += other.TLBFlushLocal
 	p.TLBFlushPage += other.TLBFlushPage
 	p.IPIsSent += other.IPIsSent

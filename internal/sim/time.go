@@ -73,15 +73,50 @@ func Min(a, b Time) Time {
 // Clock accumulates simulated time for one logical thread of execution
 // (a mutator thread, a GC worker, or a microbenchmark driver). A Clock is
 // not safe for concurrent use; each simulated thread owns its own.
+//
+// Internally the clock is fixed-point: whole nanoseconds in an int64 plus
+// a sub-nanosecond remainder in units of 2^-32 ns. Every charged duration
+// is quantised to that grid exactly once, on entry, and then accumulated
+// with integer arithmetic — which is associative and commutative, unlike
+// float64 addition. That is the property epoch-batched settlement rests
+// on: charging a quantum d once with count n (AdvanceN) leaves the clock
+// in bit-for-bit the same state as n separate Advance(d) calls, however
+// the sequence is split or regrouped. A float64-accumulating clock cannot
+// offer that (N small charges drift from one batched charge of the same
+// total), which was the rounding-divergence bug this representation fixes.
 type Clock struct {
-	now Time
+	ns   int64  // whole simulated nanoseconds
+	frac uint64 // sub-ns remainder in 2^-32 ns units; always < 1<<32
+}
+
+// fracBits is the sub-nanosecond resolution of the clock's fixed-point
+// grid: durations are truncated to multiples of 2^-fracBits ns (~2.3e-10
+// ns), far below anything a cost model charges or a figure prints.
+const fracBits = 32
+
+// quantize splits a non-negative duration into whole ns and 2^-32 ns
+// units. The split is exact for the whole part and truncating for the
+// remainder, so quantize is a pure function of the float64 bits of d —
+// the same d always lands on the same grid point.
+func quantize(d Time) (int64, uint64) {
+	w := int64(d)
+	return w, uint64((float64(d) - float64(w)) * (1 << fracBits))
+}
+
+// unquantize reconstructs the nearest float64 instant.
+func unquantize(ns int64, frac uint64) Time {
+	return Time(float64(ns) + float64(frac)/(1<<fracBits))
 }
 
 // NewClock returns a clock starting at the given instant.
-func NewClock(start Time) *Clock { return &Clock{now: start} }
+func NewClock(start Time) *Clock {
+	c := &Clock{}
+	c.AdvanceTo(start)
+	return c
+}
 
 // Now returns the current simulated instant.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return unquantize(c.ns, c.frac) }
 
 // Advance moves the clock forward by d. Negative advances are a programming
 // error and panic, because simulated time never runs backwards.
@@ -89,20 +124,55 @@ func (c *Clock) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
 	}
-	c.now += d
+	w, f := quantize(d)
+	t := c.frac + f
+	c.ns += w + int64(t>>fracBits)
+	c.frac = t & (1<<fracBits - 1)
+}
+
+// AdvanceN advances by n charges of duration d, leaving the clock in
+// exactly the state n successive Advance(d) calls would: the quantised
+// remainder is accumulated with integer multiplication, so batched
+// settlement of a run is bit-identical to the per-word charge sequence.
+func (c *Clock) AdvanceN(d Time, n int) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	if n <= 0 {
+		return
+	}
+	w, f := quantize(d)
+	// f < 2^32, so chunks of 2^31 charges keep f*chunk (and the carried
+	// remainder) comfortably inside a uint64.
+	for n > 0 {
+		chunk := n
+		if chunk > 1<<31 {
+			chunk = 1 << 31
+		}
+		t := c.frac + f*uint64(chunk)
+		c.ns += w*int64(chunk) + int64(t>>fracBits)
+		c.frac = t & (1<<fracBits - 1)
+		n -= chunk
+	}
 }
 
 // AdvanceTo moves the clock forward to instant t if t is later than now.
 // It is used to synchronise a thread with a barrier or a GC pause.
 func (c *Clock) AdvanceTo(t Time) {
-	if t > c.now {
-		c.now = t
+	if t <= c.Now() {
+		return
+	}
+	ns, frac := quantize(t)
+	// Quantisation truncates, so guard against stepping backwards when t
+	// falls inside the current grid cell.
+	if ns > c.ns || (ns == c.ns && frac > c.frac) {
+		c.ns, c.frac = ns, frac
 	}
 }
 
 // Reset rewinds the clock to zero. Only tests and experiment drivers that
 // reuse a context between runs should call it.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.ns, c.frac = 0, 0 }
 
 // Since returns the elapsed simulated time since mark.
-func (c *Clock) Since(mark Time) Time { return c.now - mark }
+func (c *Clock) Since(mark Time) Time { return c.Now() - mark }

@@ -36,7 +36,7 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Min and Max return the extrema (0 for empty).
+// Min returns the minimum (0 for empty).
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

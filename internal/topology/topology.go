@@ -211,6 +211,14 @@ func (t *Topology) LinkLatencyFactor(activeStreams int) float64 {
 	return f
 }
 
+// CrossingNs returns the contended cost of one interconnect crossing
+// under the current machine-wide load: the remote-latency surcharge
+// scaled by the link's latency factor. This is the closed-form cost the
+// machine layer multiplies by its fault-injection brownout factor.
+func (t *Topology) CrossingNs(activeStreams int) sim.Time {
+	return sim.Time(float64(t.remoteLatNs) * t.LinkLatencyFactor(activeStreams))
+}
+
 // String summarises the layout ("2 sockets x 16 cores").
 func (t *Topology) String() string {
 	return fmt.Sprintf("%d socket(s) x %d cores", t.sockets, t.coresPerSocket)

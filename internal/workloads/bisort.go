@@ -155,11 +155,9 @@ func setNodeValue(t *jvm.Thread, o heap.Object, v uint64) error {
 }
 
 func children(t *jvm.Thread, o heap.Object) (l, r heap.Object, err error) {
-	if l, err = t.J.Heap.Ref(t.Ctx, o, slotLeft); err != nil {
-		return
-	}
-	r, err = t.J.Heap.Ref(t.Ctx, o, slotRight)
-	return
+	var lr [2]heap.Object
+	err = t.J.Heap.Refs(t.Ctx, o, lr[:])
+	return lr[slotLeft], lr[slotRight], err
 }
 
 // bisortRec sorts the perfect subtree rooted at o into ascending
