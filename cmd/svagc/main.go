@@ -32,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/soak"
+	"repro/internal/swaptier"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -59,13 +60,25 @@ func main() {
 		numaPol   = flag.String("numa-policy", "", "page placement on multi-socket machines: first-touch, interleave, or bind[:N]")
 		numaGC    = flag.String("numa-gc", "", "GC worker placement on multi-socket machines: spread or local")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "host worker pool when -bench lists several workloads (1 = serial)")
-		faultPln  = flag.String("fault-plan", "", "fault-injection plan: comma-separated site=rate (sites: pte-lock, ipi-ack, swapva, poison, interconnect, all), e.g. 'swapva=0.01,poison=1e-4'")
+		faultPln  = flag.String("fault-plan", "", "fault-injection plan: comma-separated site=rate (sites: pte-lock, ipi-ack, swapva, poison, interconnect, far-write, all), e.g. 'swapva=0.01,poison=1e-4'")
 		faultRt   = flag.Float64("fault-rate", 0, "uniform fault rate applied to every site (per-site -fault-plan entries override it)")
 		faultSd   = flag.Int64("fault-seed", 0, "fault-injection seed; the same seed and plan replay the identical fault sequence (0 = workload seed)")
 		watchdogD = flag.Duration("watchdog", 0, "arm the GC watchdog: abort with diagnostics when a phase exceeds this simulated duration (svagc, svagc-memmove, copygc)")
-		soakDur   = flag.Duration("soak", 0, "run the memory-pressure soak loop for this host duration instead of a workload (uses -gc, -gcworkers, -seed, -watchdog)")
+		soakDur   = flag.Duration("soak", 0, "run the memory-pressure soak loop for this host duration instead of a workload (uses -gc, -gcworkers, -seed, -watchdog, and the swap-tier knobs)")
+		swapTier  = flag.Int64("swap-tier", 0, "far (NVMe) swap-tier capacity in MiB; arms the far-memory swap plane on the simulated machine (0 with -zpool 0 = disabled, the bit-exact historical simulator)")
+		zpool     = flag.Int64("zpool", 0, "compressed-RAM zpool budget in MiB in front of the far tier")
+		farLat    = flag.Int64("far-lat", 0, "far-device access latency in ns (0 = default 10000)")
+		physMiB   = flag.Int64("phys", 0, "bound the simulated machine's physical RAM in MiB (0 = unbounded; required with the swap-tier knobs in workload mode — the soak loop sizes its own pool)")
 	)
 	flag.Parse()
+
+	swapCfg := swaptier.Config{FarBytes: *swapTier << 20, ZpoolBytes: *zpool << 20, FarLatNs: sim.Time(*farLat)}
+	if swapCfg.Enabled() {
+		if err := swapCfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		for _, s := range workloads.Registry() {
@@ -81,6 +94,7 @@ func main() {
 			Duration:  *soakDur,
 			Watchdog:  sim.Time(watchdogD.Nanoseconds()),
 			Seed:      *seed,
+			Swap:      swapCfg,
 			Log:       os.Stderr,
 		})
 		if res != nil {
@@ -94,6 +108,10 @@ func main() {
 	}
 	if *benchName == "" {
 		fmt.Fprintln(os.Stderr, "svagc: -bench is required (try -list)")
+		os.Exit(2)
+	}
+	if swapCfg.Enabled() && *physMiB == 0 {
+		fmt.Fprintln(os.Stderr, "svagc: the swap tier reclaims against a bounded pool: set -phys (MiB of simulated RAM) with -swap-tier/-zpool")
 		os.Exit(2)
 	}
 	benches := strings.Split(*benchName, ",")
@@ -174,6 +192,15 @@ func main() {
 			fmt.Fprintf(w, "  numa               %s, %d/%d remote/local accesses, %d remote B, %d remote IPIs, %d cross-node swaps\n",
 				m.Topology(), p.NUMARemote, p.NUMALocal, p.NUMARemoteBytes, p.IPIsRemote, p.CrossNodeSwaps)
 		}
+		if m.SwapEnabled() {
+			st := m.SwapTier().Stats()
+			var kruns uint64
+			if kp := m.KswapdPerf(); kp != nil {
+				kruns = kp.ReclaimRuns
+			}
+			fmt.Fprintf(w, "  swap               %d pages out, %d in, %d zero-discarded; %d in tier at end; %d kswapd runs, %d direct reclaims\n",
+				st.OutPages, st.InPages, st.ZeroPages, st.Slots, kruns, p.DirectReclaims)
+		}
 	}
 
 	if len(benches) > 1 {
@@ -191,7 +218,7 @@ func main() {
 			}
 		}
 		mc := machine.Config{Cost: cost, Sockets: *sockets, NUMAPolicy: policy,
-			NUMABind: bind, SingleDriver: true}
+			NUMABind: bind, PhysBytes: *physMiB << 20, Swap: swapCfg, SingleDriver: true}
 		runMany(benches, *parallel, mc, *jvms, *seed, newFault, cfgFor, report)
 		return
 	}
@@ -206,6 +233,8 @@ func main() {
 		Sockets:      *sockets,
 		NUMAPolicy:   policy,
 		NUMABind:     bind,
+		PhysBytes:    *physMiB << 20,
+		Swap:         swapCfg,
 		SingleDriver: true,
 		Fault:        newFault(),
 	})

@@ -19,6 +19,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/swaptier"
 	"repro/internal/topology"
 	"repro/internal/workloads"
 )
@@ -67,6 +68,11 @@ type Options struct {
 	// rows and series are always assembled in input order by the calling
 	// goroutine, workers only warm the memoised run cache.
 	Parallel int
+	// Swap overrides the backing-tier shape of the far-memory figures
+	// (currently oversub1); the zero value keeps each figure's built-in
+	// tier. The paper-reproduction figures ignore it — their machines are
+	// never swap-armed, preserving bit-exact parity with the seed.
+	Swap swaptier.Config
 	// Exact forces declared access runs down the exact per-word charging
 	// path (machine.Config.ExactCharging). Simulated results are
 	// bit-identical with or without it — the parity suite and the -exact
@@ -223,6 +229,7 @@ func Registry() []*Experiment {
 		{ID: "ext3", Title: "Extension: 2 MiB (PMD-entry) huge swaps", Run: Ext3HugePages},
 		{ID: "numa1", Title: "Extension: SwapVA shootdown scaling, 1 vs 2 sockets", Run: NUMA1ShootdownScaling},
 		{ID: "oom1", Title: "Extension: full GC under memory pressure (SwapVA vs byte-copy)", Run: OOM1MemoryPressure},
+		{ID: "oversub1", Title: "Extension: far-memory oversubscription (swap tier + kswapd reclaim)", Run: OversubFarMemory},
 	}
 }
 
@@ -358,6 +365,9 @@ var (
 //     of one run → excluded.
 //   - OnMachine, Parallel: host-side execution policy; OnMachine bypasses
 //     the cache entirely, Parallel only schedules → excluded.
+//   - Swap: only read by the far-memory figures (oversub1), which build
+//     their machines directly and never pass through runWorkload — the
+//     cache never sees a swap-armed run → excluded.
 //   - Exact: contractually does NOT change results, but it is serialised
 //     anyway so the batched-vs-exact parity suite really executes both
 //     paths instead of one path and a cache hit.

@@ -17,7 +17,10 @@ var update = flag.Bool("update", false, "rewrite the golden figure outputs")
 // here means a cost-model or kernel-path change reached the paper's
 // figures; regenerate with `go test ./internal/bench -run TestGolden -update`
 // and justify the delta in the PR.
-var goldenIDs = []string{"fig6", "fig8", "fig9", "fig10", "numa1"}
+// oversub1 rides along: its quick sweep (1.5x and 4x oversubscription,
+// three collectors) pins the whole swap plane — tier costs, reclaimer
+// victim order, fault-in charges — to the byte.
+var goldenIDs = []string{"fig6", "fig8", "fig9", "fig10", "numa1", "oversub1"}
 
 func TestGoldenQuickFigures(t *testing.T) {
 	for _, id := range goldenIDs {

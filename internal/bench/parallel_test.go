@@ -20,7 +20,7 @@ import (
 var (
 	keyFields = []string{"Cost", "GCWorkers", "Seed", "Sockets", "NUMAPolicy", "NUMABind",
 		"FaultPlan", "FaultRate", "FaultSeed", "Exact"}
-	excludedFields = []string{"Quick", "OnMachine", "Parallel"}
+	excludedFields = []string{"Quick", "OnMachine", "Parallel", "Swap"}
 )
 
 func TestCacheKeyCoversOptions(t *testing.T) {

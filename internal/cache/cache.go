@@ -196,6 +196,32 @@ func (c *Cache) Access(pa uint64) bool {
 	return hit
 }
 
+// AccessHot is Access for accesses hinted cache-resident (mmu.Run.Hot):
+// when the line is already the set's MRU way, the probe — lock, tick
+// bump, age update — is skipped entirely and the access reported as the
+// hit it provably is. The skip cannot change any future decision: every
+// probe writes the set's strictly increasing tick into the way it
+// touches, so the MRU way holds the set's unique maximum age; leaving
+// that age un-bumped preserves the relative age order of every pair of
+// ways, and relative order is all that hit/miss results and LRU victim
+// selection ever read. Cold lines (and shared, non-exclusive caches,
+// where reading the MRU index unlocked would race) fall back to the full
+// probe, so a wrong hint costs nothing but the probe it tried to save.
+func (c *Cache) AccessHot(pa uint64) bool {
+	line := pa >> c.lineShift
+	if c.lastLineLoad() == line+1 {
+		return true
+	}
+	if c.exclusive {
+		set := int(line & c.setMask)
+		if c.tags[set*c.ways+int(c.mru[set])] == line+1 {
+			c.lastLine = line + 1
+			return true
+		}
+	}
+	return c.Access(pa)
+}
+
 // AccessRange touches every line in [pa, pa+n) and returns the number of
 // hits and misses. It is the bulk-transfer entry point used by streaming
 // copies; consecutive lines map to consecutive sets, so each iteration

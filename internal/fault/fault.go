@@ -22,6 +22,9 @@
 //     degrade to the byte-copy path.
 //   - interconnect: a NUMA cross-socket access hits a brownout and its
 //     latency/bandwidth cost degrades by BrownoutFactor.
+//   - far_write: a write to the far (NVMe) swap tier fails transiently;
+//     the reclaimer skips the page and a SwapVA touching a swapped PTE
+//     aborts with EAGAIN and rolls back.
 //
 // Determinism contract: per-site sequence numbers are atomics, so the
 // decision *stream* per site is fixed by the seed, and any execution that
@@ -100,6 +103,8 @@ var siteAliases = map[string]Site{
 	"frame_poison":   trace.FaultFramePoison,
 	"poison":         trace.FaultFramePoison,
 	"interconnect":   trace.FaultInterconnect,
+	"far_write":      trace.FaultFarWrite,
+	"far-write":      trace.FaultFarWrite,
 }
 
 // ParsePlan parses a comma-separated "site:rate" list, e.g.
@@ -148,7 +153,7 @@ func ParsePlanWithRate(spec string, rate float64) (Plan, error) {
 		}
 		s, ok := siteAliases[name]
 		if !ok {
-			return p, fmt.Errorf("fault: unknown site %q (want pte-lock, ipi-ack, swapva, poison, interconnect, or all)", name)
+			return p, fmt.Errorf("fault: unknown site %q (want pte-lock, ipi-ack, swapva, poison, interconnect, far-write, or all)", name)
 		}
 		p.Rate[s] = r
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/mem"
+	"repro/internal/mmu"
 )
 
 // Shadow verification for compacting collectors. A collector captures a
@@ -26,11 +27,19 @@ type shadowObj struct {
 	sum   uint64 // FNV-1a over the body [src+HeaderBytes, src+size)
 }
 
+// pageBacking identifies what backs one heap page: a physical frame, a
+// swap-tier slot, a discarded all-zero page, or (only on swap-armed,
+// lazily-mapped machines) nothing yet.
+type pageBacking struct {
+	kind byte // 'f' frame, 's' slot, 'z' zero, 'n' none
+	id   uint64
+}
+
 // ShadowDigest is the pre-compaction snapshot VerifyShadow checks against.
 type ShadowDigest struct {
-	from   uint64
-	objs   []shadowObj
-	frames []mem.FrameID // sorted multiset backing the whole heap
+	from    uint64
+	objs    []shadowObj
+	backing []pageBacking // sorted multiset backing the whole heap
 }
 
 // Objects returns the number of live objects captured.
@@ -75,18 +84,42 @@ func (h *Heap) rawWord(va uint64) (uint64, error) {
 	return v, nil
 }
 
-// frameSnapshot returns the sorted multiset of frames backing the heap.
-func (h *Heap) frameSnapshot() ([]mem.FrameID, error) {
-	frames := make([]mem.FrameID, 0, (h.end-h.start)>>mem.PageShift)
+// backingSnapshot returns the sorted multiset of page backings across
+// the heap. Without a swap tier every page must be frame-backed, as
+// before; with one armed, pages may live in a tier slot, be discarded
+// zeros, or (heap tail, lazily mapped) have no backing yet.
+func (h *Heap) backingSnapshot() ([]pageBacking, error) {
+	swap := h.AS.Swapped()
+	out := make([]pageBacking, 0, (h.end-h.start)>>mem.PageShift)
 	for va := h.start; va < h.end; va += mem.PageSize {
-		f, ok := h.AS.Lookup(va)
-		if !ok {
+		pt, i, err := h.AS.PTETableFor(va)
+		if err != nil {
+			if swap {
+				out = append(out, pageBacking{kind: 'n'})
+				continue
+			}
 			return nil, fmt.Errorf("heap: page %#x unmapped", va)
 		}
-		frames = append(frames, f)
+		switch e := pt.Entry(i); {
+		case e.Present:
+			out = append(out, pageBacking{kind: 'f', id: uint64(e.Frame)})
+		case e.State == mmu.SwapSlot:
+			out = append(out, pageBacking{kind: 's', id: uint64(e.Slot)})
+		case e.State == mmu.SwapZero:
+			out = append(out, pageBacking{kind: 'z'})
+		case swap:
+			out = append(out, pageBacking{kind: 'n'})
+		default:
+			return nil, fmt.Errorf("heap: page %#x unmapped", va)
+		}
 	}
-	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
-	return frames, nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].kind != out[j].kind {
+			return out[i].kind < out[j].kind
+		}
+		return out[i].id < out[j].id
+	})
+	return out, nil
 }
 
 // CaptureShadow walks [from, top) raw and records, for every marked
@@ -127,7 +160,7 @@ func (h *Heap) CaptureShadow(from, top uint64) (*ShadowDigest, error) {
 		cur += uint64(size)
 	}
 	var err error
-	s.frames, err = h.frameSnapshot()
+	s.backing, err = h.backingSnapshot()
 	return s, err
 }
 
@@ -179,19 +212,35 @@ func (h *Heap) VerifyShadow(s *ShadowDigest, newTop uint64) error {
 		}
 		prevEnd = o.dest + uint64(o.size)
 	}
-	frames, err := h.frameSnapshot()
+	backing, err := h.backingSnapshot()
 	if err != nil {
 		return err
 	}
-	if len(frames) != len(s.frames) {
-		return fmt.Errorf("post-GC: heap backed by %d frames, captured %d", len(frames), len(s.frames))
-	}
-	for i := range frames {
-		if frames[i] != s.frames[i] {
-			return fmt.Errorf("post-GC: frame multiset changed (leaked or foreign frame %d)", frames[i])
+	// No frame and no tier slot may back two heap pages at once — the
+	// damage a bad PTE rollback does. The snapshot is sorted, so
+	// duplicates are adjacent ('z' and 'n' entries carry no identity).
+	for i := 1; i < len(backing); i++ {
+		if backing[i] == backing[i-1] && (backing[i].kind == 'f' || backing[i].kind == 's') {
+			what := "frame"
+			if backing[i].kind == 's' {
+				what = "tier slot"
+			}
+			return fmt.Errorf("post-GC: %s %d double-mapped", what, backing[i].id)
 		}
-		if i > 0 && frames[i] == frames[i-1] {
-			return fmt.Errorf("post-GC: frame %d double-mapped", frames[i])
+	}
+	if h.AS.Swapped() {
+		// Residency legitimately changes across a collection on a
+		// swap-armed machine (compaction faults pages in, reclaim pushes
+		// them out), so the multiset comparison below would misfire; the
+		// double-mapping check above is the part that survives.
+		return nil
+	}
+	if len(backing) != len(s.backing) {
+		return fmt.Errorf("post-GC: heap backed by %d pages, captured %d", len(backing), len(s.backing))
+	}
+	for i := range backing {
+		if backing[i] != s.backing[i] {
+			return fmt.Errorf("post-GC: frame multiset changed (leaked or foreign frame %d)", backing[i].id)
 		}
 	}
 	return nil

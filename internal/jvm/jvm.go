@@ -18,6 +18,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -61,6 +62,11 @@ type JVM struct {
 	// watermark (see Thread.checkPressure). True from birth so the first
 	// episode always triggers.
 	pressureArmed bool
+
+	// sweepTime accumulates the post-GC swap sweep (tail discard + drain)
+	// run on the GC context after each collection when the swap plane is
+	// armed. Counted into AppTime like concurrent GC work.
+	sweepTime sim.Time
 }
 
 // Thread is one mutator thread: a simulated execution context plus its
@@ -149,7 +155,38 @@ func (j *JVM) runGC(cause gc.Cause) (*gc.PauseInfo, error) {
 		j.gcCtx.Trace.Emit(trace.KindSpan, "gc-pause", pause.At, pause.Total,
 			pause.LiveBytes, uint64(pause.SwappedPages))
 	}
+	if err == nil && j.M.SwapEnabled() {
+		j.postGCSweep()
+	}
 	return pause, err
+}
+
+// postGCSweep runs after every successful collection on a swap-armed
+// machine. Two steps, both collector-agnostic because the heap is a
+// linear space with everything above Top dead:
+//
+//  1. Discard the tail [Top, End): compaction just moved the live data
+//     below Top, so frames and tier slots still backing the tail hold
+//     garbage — return them (MADV_DONTNEED), which is what lets a full
+//     GC empty the swap tier instead of leaving orphaned slots behind.
+//  2. Drain the live prefix [Start, Top): fault swapped pages back in
+//     while the pool stays above the high watermark, so post-GC mutator
+//     work doesn't start with a major-fault storm.
+//
+// The work is charged to the GC context and accumulated into sweepTime
+// (part of AppTime, like concurrent GC work).
+func (j *JVM) postGCSweep() {
+	start := j.gcCtx.Clock.Now()
+	tail := (j.Heap.Top() + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	discarded := j.gcCtx.DiscardPages(j.AS, tail, int((j.Heap.End()-tail)>>mem.PageShift))
+	drained, _ := j.gcCtx.DrainSwapped(j.AS, j.Heap.Start(),
+		int((tail-j.Heap.Start())>>mem.PageShift), 0)
+	d := j.gcCtx.Clock.Since(start)
+	j.sweepTime += d
+	if discarded+drained > 0 {
+		j.gcCtx.Trace.Emit(trace.KindSpan, "swap-sweep", start, d,
+			uint64(discarded), uint64(drained))
+	}
 }
 
 // Alloc allocates on behalf of the thread, collecting and retrying on
@@ -208,9 +245,9 @@ func (j *JVM) GCConcurrentTime() sim.Time { return j.GC.Stats().Concurrent }
 
 // AppTime returns end-to-end application execution time: mutator work,
 // plus every pause (STW blocks all threads), plus concurrent GC work
-// (which steals cores from the application).
+// (which steals cores from the application), plus post-GC swap sweeps.
 func (j *JVM) AppTime() sim.Time {
-	return j.MutatorTime() + j.GCPauseTime() + j.GCConcurrentTime()
+	return j.MutatorTime() + j.GCPauseTime() + j.GCConcurrentTime() + j.sweepTime
 }
 
 // TotalPerf aggregates perf counters over mutator threads and GC.

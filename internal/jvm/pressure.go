@@ -51,6 +51,19 @@ func (t *Thread) checkPressure() error {
 	j := t.J
 	switch j.M.Phys.PressureLevel() {
 	case mem.PressureMin:
+		if j.M.SwapEnabled() {
+			// Last resort before fail-fast: synchronous direct reclaim on
+			// the allocating thread's own clock. Only if the pool is still
+			// at the min watermark afterwards is the allocation refused.
+			start := t.Ctx.Clock.Now()
+			freed := t.Ctx.DirectReclaim()
+			t.Ctx.Perf.PressureStalls++
+			t.Ctx.Trace.Emit(trace.KindPressure, "pressure:direct-reclaim", start,
+				t.Ctx.Clock.Since(start), uint64(mem.PressureMin), uint64(freed))
+			if j.M.Phys.PressureLevel() != mem.PressureMin {
+				return nil
+			}
+		}
 		report := j.M.MemReport()
 		start := t.Ctx.Clock.Now()
 		t.Ctx.Trace.Emit(trace.KindPressure, "pressure:fail-fast", start, 0,
@@ -61,6 +74,9 @@ func (t *Thread) checkPressure() error {
 			Report:        report,
 		}
 	case mem.PressureLow:
+		if j.M.SwapEnabled() && j.reclaimStall(t) {
+			return nil
+		}
 		if !j.pressureArmed {
 			return nil
 		}
@@ -81,4 +97,21 @@ func (t *Thread) checkPressure() error {
 		}
 	}
 	return nil
+}
+
+// reclaimStall is the "reclaim in progress" state between the low and
+// min watermarks when the swap plane is armed: the mutator stalls
+// briefly, wakes kswapd, and continues without a collection when the
+// background reclaimer restored headroom (demoting cold pages is far
+// cheaper than an emergency GC). Returns true when reclaim alone
+// absorbed the pressure episode; false falls through to the emergency
+// collection ladder.
+func (j *JVM) reclaimStall(t *Thread) bool {
+	start := t.Ctx.Clock.Now()
+	t.Ctx.Clock.Advance(pressureStallNs)
+	t.Ctx.Perf.PressureStalls++
+	freed := j.M.KickReclaim(t.Ctx.Clock.Now())
+	t.Ctx.Trace.Emit(trace.KindPressure, "pressure:reclaim-stall", start,
+		t.Ctx.Clock.Since(start), uint64(mem.PressureLow), uint64(freed))
+	return j.M.Phys.PressureLevel() == mem.PressureNone
 }

@@ -16,8 +16,11 @@ import (
 // order (see Options.Overlap for how this relates to the pairwise order).
 //
 // The combined region [min(va1,va2), max(va1,va2)+p pages) must be fully
-// mapped. TLB coherence follows the caller's flush policy, plus optional
-// per-slot invlpg flushes (Options.PerPageFlush).
+// mapped AND resident: the cycle-chasing rotation moves bare frames, so a
+// swapped-out or demand-zero slot fails with ErrNotMapped, the request
+// rolls back, and the caller degrades to the pairwise or byte-copy path
+// (which fault pages in as needed). TLB coherence follows the caller's
+// flush policy, plus optional per-slot invlpg flushes (Options.PerPageFlush).
 func (k *Kernel) swapOverlapBody(ctx *machine.Context, as *mmu.AddressSpace,
 	va1, va2 uint64, pages int, opts Options, tx *txn) error {
 

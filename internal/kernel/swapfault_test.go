@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/swaptier"
+	"repro/internal/trace"
+)
+
+// newSwapFaultFixture builds a fixture on a swap-armed machine with the
+// far-tier write-failure site rolled at the given rate. The zpool-only
+// tier keeps the reclaimer's own write-back path off the fault site (it
+// only fires for pages bound far), so every injected failure lands in
+// the SwapVA path under test.
+func newSwapFaultFixture(t *testing.T, seed int64, rate float64) *fixture {
+	t.Helper()
+	m := machine.MustNew(machine.Config{
+		Cost:      sim.XeonGold6130(),
+		PhysBytes: 256 << mem.PageShift,
+		Swap:      swaptier.Config{ZpoolBytes: 4 << 20},
+		Fault:     fault.New(seed, planFor(trace.FaultFarWrite, rate)),
+	})
+	return &fixture{m: m, k: New(m), as: m.NewAddressSpace(), ctx: m.NewContext(0)}
+}
+
+// TestFarWriteFaultRollsBackSwappedExchange: exchanging with a PTE that
+// lives in the swap tier rewrites its swap entry on the backing device,
+// and that write can fail transiently. A failed call must roll back
+// through the PR-4 undo log — both ranges bit-identical, no PTE half
+// exchanged, no tier slot leaked — and report ErrAgain so callers retry
+// or degrade. On a swap-armed machine RawWrite admits pages straight to
+// the tier, so both regions start as SwapSlot entries and every
+// iteration exercises the swapped-PTE exchange path.
+func TestFarWriteFaultRollsBackSwappedExchange(t *testing.T) {
+	f := newSwapFaultFixture(t, 11, 0.4)
+	const pages = 4
+	a, _ := f.as.MapRegion(pages)
+	b, _ := f.as.MapRegion(pages)
+	f.fillPages(t, a, pages, 0x33)
+	f.fillPages(t, b, pages, 0x44)
+	if f.m.SwappedPages() == 0 {
+		t.Fatal("fixture pages are not tier-resident; the far-write site would never arm")
+	}
+	slots := f.m.SwappedPages()
+
+	fails, successes := 0, 0
+	for i := 0; i < 60; i++ {
+		preA := f.snapshot(t, a, pages)
+		preB := f.snapshot(t, b, pages)
+		err := f.k.SwapVA(f.ctx, f.as, a, b, pages, DefaultOptions())
+		if err != nil {
+			fails++
+			if !errors.Is(err, ErrAgain) {
+				t.Fatalf("iteration %d: err = %v, want ErrAgain", i, err)
+			}
+			if !Degradable(err) {
+				t.Fatal("far-write failure not Degradable")
+			}
+			if !bytes.Equal(f.snapshot(t, a, pages), preA) ||
+				!bytes.Equal(f.snapshot(t, b, pages), preB) {
+				t.Fatalf("iteration %d: failed swap left a partial exchange", i)
+			}
+		} else {
+			successes++
+			if !bytes.Equal(f.snapshot(t, a, pages), preB) ||
+				!bytes.Equal(f.snapshot(t, b, pages), preA) {
+				t.Fatalf("iteration %d: successful swap is not a full exchange", i)
+			}
+		}
+		if got := f.m.SwappedPages(); got != slots {
+			t.Fatalf("iteration %d: tier slots %d, want %d (exchange must never leak or consume slots)",
+				i, got, slots)
+		}
+	}
+	if fails == 0 || successes == 0 {
+		t.Fatalf("want both outcomes at rate 0.4: %d fails, %d successes", fails, successes)
+	}
+	if f.ctx.Perf.FaultsInjected == 0 {
+		t.Error("no faults counted")
+	}
+}
+
+// TestOverlapFallsBackToPairwiseOnSwappedPages: the cycle-chasing
+// overlap body moves bare frames, so it cannot rotate slots that live in
+// the swap tier. On a swap-armed machine the kernel must redo such a
+// request with the pairwise body instead of surfacing ErrNotMapped —
+// compaction's overlapping moves routinely cover swapped-out pages.
+func TestOverlapFallsBackToPairwiseOnSwappedPages(t *testing.T) {
+	f := newSwapFaultFixture(t, 1, 0) // rate 0: no injected faults
+	const pages = 4
+	const overlap = 2 // pages of overlap between the two ranges
+	a, _ := f.as.MapRegion(pages + overlap)
+	f.fillPages(t, a, pages+overlap, 0x77)
+	if f.m.SwappedPages() == 0 {
+		t.Fatal("fixture pages are not tier-resident; overlap would not hit the swap path")
+	}
+	b := a + overlap<<mem.PageShift
+	preSrc := f.snapshot(t, b, pages)
+	if err := f.k.SwapVA(f.ctx, f.as, a, b, pages, DefaultOptions()); err != nil {
+		t.Fatalf("overlapping SwapVA over swapped pages: %v", err)
+	}
+	if got := f.snapshot(t, a, pages); !bytes.Equal(got, preSrc) {
+		t.Error("destination range does not hold the former source contents")
+	}
+}
+
+// TestFarWriteVecRollsBackWholeBatch: a far-write failure inside
+// SwapVAVec must roll back the failing request while the previously
+// completed requests of the batch stay exchanged — the vectored call's
+// documented per-request atomicity.
+func TestFarWriteVecRollsBackWholeBatch(t *testing.T) {
+	f := newSwapFaultFixture(t, 5, 0.6)
+	const pages = 2
+	var reqs []SwapReq
+	var pre [][]byte
+	for i := 0; i < 4; i++ {
+		x, _ := f.as.MapRegion(pages)
+		y, _ := f.as.MapRegion(pages)
+		f.fillPages(t, x, pages, byte(0x50+i))
+		f.fillPages(t, y, pages, byte(0x60+i))
+		reqs = append(reqs, SwapReq{VA1: x, VA2: y, Pages: pages})
+		pre = append(pre, f.snapshot(t, x, pages), f.snapshot(t, y, pages))
+	}
+	n, err := f.k.SwapVAVec(f.ctx, f.as, reqs, DefaultOptions())
+	for i, r := range reqs {
+		gotX := f.snapshot(t, r.VA1, pages)
+		gotY := f.snapshot(t, r.VA2, pages)
+		if r.Swapped == pages {
+			if !bytes.Equal(gotX, pre[2*i+1]) || !bytes.Equal(gotY, pre[2*i]) {
+				t.Errorf("request %d reported swapped but is not a full exchange", i)
+			}
+		} else if r.Swapped == 0 {
+			if !bytes.Equal(gotX, pre[2*i]) || !bytes.Equal(gotY, pre[2*i+1]) {
+				t.Errorf("request %d reported untouched but its pages moved", i)
+			}
+		} else {
+			t.Errorf("request %d partially swapped: %d of %d pages", i, r.Swapped, pages)
+		}
+	}
+	if err != nil && !errors.Is(err, ErrAgain) {
+		t.Fatalf("vec err = %v", err)
+	}
+	_ = n
+}

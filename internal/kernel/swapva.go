@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"errors"
+
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
@@ -130,8 +132,25 @@ func (k *Kernel) applySwap(ctx *machine.Context, as *mmu.AddressSpace,
 	tx.reset()
 	start := ctx.Clock.Now()
 	var err error
+	overlapTouched := false
 	if opts.Overlap && rangesOverlap(va1, va2, pages) {
 		err = k.swapOverlapBody(ctx, as, va1, va2, pages, opts, tx)
+		if err != nil && errors.Is(err, ErrNotMapped) && k.M.SwapEnabled() {
+			// The cycle-chasing rotation moves bare frames, so a slot that
+			// lives in the swap tier (or is still demand-zero) aborts it. On
+			// a swap-armed machine that is an expected page state, not a
+			// caller bug: roll the attempt back and redo the request with
+			// the pairwise body, which exchanges whole PTEs and handles
+			// every residency combination at O(2n) cost. Sequential
+			// pairwise order yields the identical final layout (see the
+			// SwapVA doc comment), so callers cannot observe the dispatch.
+			overlapTouched = len(tx.ops) > 0
+			k.rollback(ctx, as, tx, va1)
+			tx.reset()
+			ctx.Trace.Emit(trace.KindFallback, "swap-overlap-pairwise",
+				ctx.Clock.Now(), 0, uint64(pages), va1)
+			err = k.swapBody(ctx, as, va1, va2, pages, opts, tx)
+		}
 	} else {
 		err = k.swapBody(ctx, as, va1, va2, pages, opts, tx)
 	}
@@ -140,7 +159,7 @@ func (k *Kernel) applySwap(ctx *machine.Context, as *mmu.AddressSpace,
 			ctx.Clock.Now()-start, uint64(pages), va1)
 		return true, nil
 	}
-	touched := len(tx.ops) > 0
+	touched := overlapTouched || len(tx.ops) > 0
 	k.rollback(ctx, as, tx, va1)
 	return touched, err
 }
@@ -201,7 +220,9 @@ func (k *Kernel) swapBody(ctx *machine.Context, as *mmu.AddressSpace,
 	return nil
 }
 
-// swapPTEs exchanges two present PTEs under their table locks. Distinct
+// swapPTEs exchanges two mapped PTEs under their table locks. Either
+// side may be resident, demand-zero, or swapped out — the exchange
+// moves the full PTE struct, so every combination is correct. Distinct
 // tables are acquired in a global order keyed by their allocation IDs —
 // a per-table identity that travels with the table when SwapPMDEntries
 // reparents it. Ordering by virtual address is NOT safe here: after a
@@ -228,21 +249,35 @@ func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 		defer second.Unlock()
 	}
 	e1, e2 := pt1.Entry(idx1), pt2.Entry(idx2)
-	if !e1.Present {
+	if !e1.Mapped() {
 		return notMapped(va1)
 	}
-	if !e2.Present {
+	if !e2.Mapped() {
 		return notMapped(va2)
+	}
+	if e1.State == mmu.SwapSlot || e2.State == mmu.SwapSlot {
+		// A side that lives in the swap tier has its swap entry rewritten
+		// on the backing device by the exchange — a write that can fail
+		// transiently (the far_write fault site).
+		if err := fireFarWrite(ctx, va1); err != nil {
+			return err
+		}
 	}
 	if err := checkPoison(ctx, e1.Frame, e2.Frame, va1, va2); err != nil {
 		return err
 	}
-	e1.Frame, e2.Frame = e2.Frame, e1.Frame
+	// Exchange the whole PTE structs, not just the frames: swap state and
+	// tier slot travel with the contents. Exchanging a resident PTE with
+	// a swapped-out one therefore relocates the swapped page's identity
+	// to the other VA — compaction doubling as demotion/prefetch policy —
+	// with no special-casing anywhere downstream.
+	*e1, *e2 = *e2, *e1
 	tx.notePair(pt1, idx1, pt2, idx2)
 	ctx.Clock.Advance(2 * ctx.Cost.PTEUpdateNs)
-	if ctx.NUMAView != nil {
+	if ctx.NUMAView != nil && e1.Present && e2.Present {
 		// Frames on different nodes: each of the two dirty PTE stores
-		// crosses the interconnect when made visible.
+		// crosses the interconnect when made visible. Non-resident sides
+		// have no frame to place.
 		ctx.Clock.Advance(ctx.NUMAView.CrossNodeSwapNs(
 			uint64(e1.Frame)<<mem.PageShift, uint64(e2.Frame)<<mem.PageShift))
 	}

@@ -77,11 +77,14 @@ func (k *Kernel) rollback(ctx *machine.Context, as *mmu.AddressSpace, t *txn, re
 		switch op.kind {
 		case undoPair:
 			ctx.Clock.Advance(2 * ctx.Cost.PTELockNs)
+			// Re-swap the full PTE structs, mirroring the forward
+			// exchange — swap state and tier slot roll back with the
+			// frame.
 			first, second := op.pt1, op.pt2
 			if first == second {
 				first.Lock()
 				e1, e2 := first.Entry(op.idx1), first.Entry(op.idx2)
-				e1.Frame, e2.Frame = e2.Frame, e1.Frame
+				*e1, *e2 = *e2, *e1
 				first.Unlock()
 			} else {
 				if first.ID() > second.ID() {
@@ -90,7 +93,7 @@ func (k *Kernel) rollback(ctx *machine.Context, as *mmu.AddressSpace, t *txn, re
 				first.Lock()
 				second.Lock()
 				e1, e2 := op.pt1.Entry(op.idx1), op.pt2.Entry(op.idx2)
-				e1.Frame, e2.Frame = e2.Frame, e1.Frame
+				*e1, *e2 = *e2, *e1
 				second.Unlock()
 				first.Unlock()
 			}
@@ -127,6 +130,21 @@ func fireTransient(ctx *machine.Context, va uint64) error {
 	return &VAError{VA: va, Err: ErrAgain}
 }
 
+// fireFarWrite rolls the far-tier write-failure site for one page
+// position: exchanging with a swapped-out PTE rewrites its swap entry
+// on the backing device, and that write can fail transiently. Like the
+// swap-transient site, the error is retryable and the caller rolls the
+// request back through the undo log.
+func fireFarWrite(ctx *machine.Context, va uint64) error {
+	if !ctx.Fault.Fire(trace.FaultFarWrite) {
+		return nil
+	}
+	ctx.Perf.FaultsInjected++
+	ctx.Trace.Emit(trace.KindFault, "fault:far-write", ctx.Clock.Now(), 0,
+		uint64(trace.FaultFarWrite), va)
+	return &VAError{VA: va, Err: ErrAgain}
+}
+
 // stallPTELock rolls the PTE-lock-stall site before a lock acquisition,
 // charging the injected hold-up to the caller's clock when it fires.
 func stallPTELock(ctx *machine.Context, va uint64) {
@@ -144,7 +162,8 @@ func stallPTELock(ctx *machine.Context, va uint64) {
 // checkPoison fails the exchange when either frame is ECC-bad: remapping a
 // poisoned frame would publish unscrubbed memory under a new address, so
 // the kernel refuses and the caller must degrade to the byte-copy path.
-// The returned error carries the VA whose frame is poisoned.
+// The returned error carries the VA whose frame is poisoned. Non-resident
+// sides pass NilFrame — no frame, nothing to poison.
 func checkPoison(ctx *machine.Context, f1, f2 mem.FrameID, va1, va2 uint64) error {
 	inj := ctx.Fault
 	if inj == nil {
@@ -152,8 +171,8 @@ func checkPoison(ctx *machine.Context, f1, f2 mem.FrameID, va1, va2 uint64) erro
 	}
 	va := va1
 	switch {
-	case inj.FramePoisoned(uint64(f1)):
-	case inj.FramePoisoned(uint64(f2)):
+	case f1 != mem.NilFrame && inj.FramePoisoned(uint64(f1)):
+	case f2 != mem.NilFrame && inj.FramePoisoned(uint64(f2)):
 		va = va2
 	default:
 		return nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/swaptier"
 )
 
 // TestBatchChargingPredicate pins every arm of the fallback predicate:
@@ -43,6 +44,12 @@ func TestBatchChargingPredicate(t *testing.T) {
 		{"fault plan", func() Config {
 			c := base()
 			c.Fault = fault.New(1, fault.Uniform(0.5))
+			return c
+		}, false},
+		{"swap tier", func() Config {
+			c := base()
+			c.PhysBytes = 1 << 24
+			c.Swap = swaptier.Config{ZpoolBytes: 1 << 20}
 			return c
 		}, false},
 	}
@@ -98,6 +105,7 @@ func TestContextChargeRunParity(t *testing.T) {
 		{VA: mmu.MmapBase, Words: 900, Write: true},
 		{VA: mmu.MmapBase + 128, Words: 900},
 		{VA: mmu.MmapBase + 16, Stride: 72, Words: 333},
+		{VA: mmu.MmapBase + 16, Stride: 72, Words: 333, Hot: true}, // hot re-scan (MRU skip on the SingleDriver LLC)
 		{VA: mmu.MmapBase + 4096, Words: 1, Write: true},
 	}
 	for _, r := range runs {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/swaptier"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -50,6 +51,14 @@ type Config struct {
 	// the default — leaves the allocator unwatermarked and the machine
 	// bit-identical to a pre-pressure-plane build.
 	Watermarks mem.Watermarks
+
+	// Swap, when enabled, arms the far-memory plane (internal/swaptier):
+	// address spaces map lazily, a kswapd-style reclaimer demotes cold
+	// pages below the low watermark, and non-resident pages fault back
+	// in on demand. Requires PhysBytes > 0; watermarks are auto-armed at
+	// the Linux-default ratios when not set explicitly. The zero value —
+	// the default — is bit-identical to a machine without the plane.
+	Swap swaptier.Config
 
 	// Fault, when non-nil, arms the deterministic fault-injection plane:
 	// every context created on the machine consults it at the injectable
@@ -112,6 +121,11 @@ type Machine struct {
 	// memory-pressure diagnostics to attribute frame usage per consumer.
 	asMu   sync.Mutex
 	spaces []*mmu.AddressSpace
+
+	// Far-memory plane (nil/zero when Config.Swap is disabled).
+	swap      *swaptier.Tier
+	reclaimer *swaptier.Reclaimer
+	kswapd    *Context // lazily created background-reclaim context
 }
 
 // New builds a machine from cfg.
@@ -164,6 +178,22 @@ func New(cfg Config) (*Machine, error) {
 		watermarked:   cfg.Watermarks.Enabled(),
 	}
 	m.Phys.SetNodes(topo.Sockets())
+	if cfg.Swap.Enabled() {
+		if err := cfg.Swap.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.PhysBytes <= 0 {
+			return nil, fmt.Errorf("machine: a swap tier needs bounded physical memory (PhysBytes)")
+		}
+		if !cfg.Watermarks.Enabled() {
+			// The reclaimer is driven by the watermarks; arm the Linux
+			// default ratios when the caller didn't choose their own.
+			cfg.Watermarks = mem.DefaultWatermarks(int(cfg.PhysBytes >> mem.PageShift))
+			m.watermarked = true
+		}
+		m.swap = swaptier.New(cfg.Swap, cfg.Cost)
+		m.reclaimer = swaptier.NewReclaimer(m.swap, m.Phys)
+	}
 	if cfg.Watermarks.Enabled() {
 		if err := m.Phys.SetWatermarks(cfg.Watermarks); err != nil {
 			return nil, err
@@ -235,6 +265,9 @@ func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
 		Bind:   m.numaBind,
 		Nodes:  m.topo.Sockets(),
 	})
+	if m.swap != nil {
+		as.SetSwapper(&machineSwapper{m: m})
+	}
 	m.asMu.Lock()
 	m.spaces = append(m.spaces, as)
 	m.asMu.Unlock()
@@ -265,13 +298,14 @@ func (m *Machine) FaultInjector() *fault.Injector { return m.fault }
 // runs settle in closed form only when nothing on the machine needs
 // per-access observability or cross-goroutine safety. A tracer wants
 // every event, a fault plan rolls per access, armed watermarks react to
-// individual allocations' pressure, and a multi-driver machine has
-// contended shared state — each of those forces the exact per-word path.
-// The simulated figures are bit-identical either way; only host speed
-// differs.
+// individual allocations' pressure, a swap tier needs every page touch
+// observed (demand faults, Accessed bits), and a multi-driver machine
+// has contended shared state — each of those forces the exact per-word
+// path. The simulated figures are bit-identical either way; only host
+// speed differs.
 func (m *Machine) batchCharging() bool {
 	return m.singleDriver && !m.exactCharging && !m.watermarked &&
-		m.tracer == nil && m.fault == nil
+		m.tracer == nil && m.fault == nil && m.swap == nil
 }
 
 // BatchedCharging reports whether contexts created now settle declared
@@ -326,6 +360,7 @@ func (m *Machine) NewContext(coreID int) *Context {
 	}
 	if m.tracer != nil {
 		ctx.Trace = m.tracer.NewBuffer(coreID)
+		ctx.Env.Trace = ctx.Trace
 	}
 	if !m.topo.Flat() {
 		ctx.NUMAView = &NUMAView{m: m, socket: core.Socket, perf: ctx.Perf,

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/mem"
+	"repro/internal/swaptier"
 )
 
 // ASUsage attributes frame consumption to one address space.
@@ -24,11 +25,19 @@ type MemReport struct {
 	// (ties broken by ASID ascending for deterministic output), at most
 	// five entries.
 	Top []ASUsage
+	// Swap is the tier occupancy snapshot; zero (and unprinted) when the
+	// swap plane is disarmed.
+	Swap        swaptier.Stats
+	SwapEnabled bool
 }
 
 // MemReport snapshots the machine's memory accounting.
 func (m *Machine) MemReport() MemReport {
 	r := MemReport{Usage: m.Phys.Usage()}
+	if m.swap != nil {
+		r.Swap = m.swap.Stats()
+		r.SwapEnabled = true
+	}
 	m.asMu.Lock()
 	for _, as := range m.spaces {
 		if p := as.MappedPages(); p > 0 {
@@ -62,6 +71,12 @@ func (r MemReport) String() string {
 	if u.Watermarks.Enabled() {
 		fmt.Fprintf(&b, "watermarks: min=%d low=%d high=%d\n",
 			u.Watermarks.Min, u.Watermarks.Low, u.Watermarks.High)
+	}
+	if r.SwapEnabled {
+		s := r.Swap
+		fmt.Fprintf(&b, "swap: %d pages out (%d zpool / %d far), zpool %d B, far %d B, %d out / %d in / %d zero\n",
+			s.Slots, s.ZpoolSlots, s.FarSlots, s.ZpoolUsed, s.FarUsed,
+			s.OutPages, s.InPages, s.ZeroPages)
 	}
 	for _, n := range u.Nodes {
 		fmt.Fprintf(&b, "node %d: %d frames grown, %d free\n", n.Node, n.Grown, n.Free)

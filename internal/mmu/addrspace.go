@@ -25,6 +25,49 @@ type AddressSpace struct {
 
 	place     Placement
 	placeNext int // interleave cursor; guarded by mapMu
+
+	// swapper, when non-nil, arms the far-memory plane: Map creates
+	// demand-zero PTEs instead of allocating frames eagerly, and
+	// translation faults non-resident pages in through it. Installed
+	// once at address-space creation, before any mapping exists.
+	swapper Swapper
+}
+
+// Swapper is the far-memory backend an address space faults through
+// when a swap tier is armed (internal/swaptier wired up by the machine
+// layer). mmu stays policy-free: it only knows how to ask for a page to
+// be materialised and how to reach a slot's bytes for uncharged
+// host-side access.
+type Swapper interface {
+	// PageIn materialises the non-resident page at va — allocating a
+	// frame, reading the tier slot or zero-filling, and updating the PTE
+	// to resident — charging env for the fault. ok=false means the VA is
+	// not a mapped page at all (the caller reports the usual fault).
+	PageIn(env *Env, as *AddressSpace, va uint64) (f mem.FrameID, ok bool, err error)
+	// FreeSlot releases a tier slot whose page was unmapped or discarded.
+	FreeSlot(slot uint32)
+	// ReadSlot copies len(p) bytes at off within the slot's page into p,
+	// uncharged (verification and raw plumbing).
+	ReadSlot(slot uint32, off int, p []byte)
+	// WriteSlot copies p over the slot's page at off, uncharged.
+	WriteSlot(slot uint32, off int, p []byte)
+	// AdmitPage stores a full page of bytes into the tier uncharged and
+	// returns its new slot; ok=false when the tier is out of capacity.
+	AdmitPage(p []byte) (slot uint32, ok bool)
+}
+
+// SetSwapper arms the far-memory plane. Must be called before any
+// mapping is created; a nil swapper (the default) keeps the address
+// space bit-identical to the pre-swap simulator.
+func (as *AddressSpace) SetSwapper(s Swapper) {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	as.swapper = s
+}
+
+// Swapped reports whether a swap tier is armed on this address space.
+func (as *AddressSpace) Swapped() bool {
+	return as.swapper != nil
 }
 
 // Placement selects the NUMA node backing freshly mapped pages. The zero
@@ -88,6 +131,17 @@ func (as *AddressSpace) placeNode() int {
 	}
 }
 
+// PlaceNextNode picks the NUMA node for the next demand-faulted page —
+// the fault-time analogue of the placement decision Map makes at
+// populate time. Interleaved spaces advance the same cursor, so a space
+// materialised lazily by faults spreads across nodes exactly like one
+// populated eagerly.
+func (as *AddressSpace) PlaceNextNode() int {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	return as.placeNode()
+}
+
 // MmapBase is where region allocation starts; it leaves page 0 and the
 // low canonical range unmapped so nil-like VAs fault loudly.
 const MmapBase = uint64(0x10_0000_0000)
@@ -97,7 +151,10 @@ func NewAddressSpace(asid uint32, phys *mem.PhysMem) *AddressSpace {
 	return &AddressSpace{ASID: asid, Phys: phys, vaNext: MmapBase}
 }
 
-// Map backs [va, va+pages*PageSize) with freshly allocated zeroed frames.
+// Map backs [va, va+pages*PageSize) with freshly allocated zeroed frames
+// — or, when a swap tier is armed, with demand-zero PTEs that consume no
+// physical memory until first touch (so a heap larger than RAM maps for
+// free and materialises page by page under the reclaimer's control).
 // va must be page-aligned and the range must be currently unmapped.
 func (as *AddressSpace) Map(va uint64, pages int) error {
 	if va&mem.PageMask != 0 {
@@ -109,10 +166,17 @@ func (as *AddressSpace) Map(va uint64, pages int) error {
 		addr := va + uint64(i)<<mem.PageShift
 		pt := as.root.walk(addr, true)
 		e := pt.Entry(PTEIndex(addr))
-		if e.Present {
+		if e.Mapped() {
 			// Roll back this call's mappings before failing.
 			as.unmapLocked(va, i, true)
 			return fmt.Errorf("mmu: Map: va %#x already mapped", addr)
+		}
+		if as.swapper != nil {
+			pt.Lock()
+			e.Frame = mem.NilFrame
+			e.State = SwapZero
+			pt.Unlock()
+			continue
 		}
 		f, err := as.Phys.AllocFrameOn(as.placeNode())
 		if err != nil {
@@ -158,16 +222,19 @@ func (as *AddressSpace) unmapLocked(va uint64, pages int, freeFrames bool) {
 			continue
 		}
 		e := pt.Entry(PTEIndex(addr))
-		if !e.Present {
+		if !e.Mapped() {
 			continue
 		}
 		pt.Lock()
-		f := e.Frame
-		e.Frame = mem.NilFrame
-		e.Present = false
+		f, present := e.Frame, e.Present
+		slot, state := e.Slot, e.State
+		*e = PTE{Frame: mem.NilFrame}
 		pt.Unlock()
-		if freeFrames {
+		if present && freeFrames {
 			as.Phys.FreeFrame(f)
+		}
+		if state == SwapSlot {
+			as.swapper.FreeSlot(slot)
 		}
 		as.mappedPages--
 	}
@@ -271,11 +338,37 @@ func (as *AddressSpace) translatePage(env *Env, va uint64) (mem.FrameID, error) 
 	env.Perf.PTWalks++
 	env.Clock.Advance(env.Cost.WalkNs())
 	f, ok = as.Lookup(va)
+	if !ok && as.swapper != nil {
+		// Demand fault: a mapped-but-non-resident page (demand-zero or
+		// swapped out) is materialised by the swapper, which charges the
+		// fault and the tier read-in to this Env.
+		var err error
+		f, ok, err = as.swapper.PageIn(env, as, va)
+		if err != nil {
+			return mem.NilFrame, err
+		}
+	}
 	if !ok {
 		return mem.NilFrame, badVA("translate", va)
 	}
+	if as.swapper != nil {
+		as.markAccessed(va)
+	}
 	env.TLB.Insert(as.ASID, vpn, f)
 	return f, nil
+}
+
+// markAccessed sets the clock-algorithm reference bit on va's PTE. Only
+// called with a swap tier armed, on the TLB-miss (page-table walk) path
+// — the same visibility real hardware gives the Accessed bit. The
+// unlocked bool store races only with the reclaimer's clearing pass,
+// and either outcome is a legal clock state; under the single-driver
+// machine (the only configuration that arms swap) there is no host
+// concurrency at all.
+func (as *AddressSpace) markAccessed(va uint64) {
+	if pt := as.root.walk(va, false); pt != nil {
+		pt.Entry(PTEIndex(va)).Accessed = true
+	}
 }
 
 // ReadWord performs one charged 8-byte load. va must not cross a page.
@@ -386,40 +479,115 @@ func (as *AddressSpace) chargeRange(env *Env, va uint64, n int, write bool) erro
 
 // RawRead copies bytes out of the address space without charging any
 // simulated cost or touching the TLB. It exists for verification (tests,
-// invariant checks) and host-side plumbing.
+// invariant checks) and host-side plumbing. Non-resident pages are read
+// through the swap tier (swapped pages) or as zeros (demand-zero pages),
+// so heap verification sees the same bytes a faulting load would.
 func (as *AddressSpace) RawRead(va uint64, p []byte) error {
 	for len(p) > 0 {
-		f, ok := as.Lookup(va)
-		if !ok {
-			return badVA("RawRead", va)
-		}
 		off := int(va & mem.PageMask)
 		n := mem.PageSize - off
 		if n > len(p) {
 			n = len(p)
 		}
-		copy(p[:n], as.Phys.Frame(f)[off:off+n])
+		pt := as.root.walk(va, false)
+		if pt == nil {
+			return badVA("RawRead", va)
+		}
+		e := pt.Entry(PTEIndex(va))
+		switch {
+		case e.Present:
+			copy(p[:n], as.Phys.Frame(e.Frame)[off:off+n])
+		case e.State == SwapSlot:
+			as.swapper.ReadSlot(e.Slot, off, p[:n])
+		case e.State == SwapZero:
+			clear(p[:n])
+		default:
+			return badVA("RawRead", va)
+		}
 		va += uint64(n)
 		p = p[n:]
 	}
 	return nil
 }
 
-// RawWrite copies bytes into the address space without charging.
+// RawWrite copies bytes into the address space without charging. Writes
+// to swapped pages land in their tier slot; a write of non-zero bytes
+// to a demand-zero page admits the page into the tier (it stays
+// non-resident — raw writes must not allocate frames).
 func (as *AddressSpace) RawWrite(va uint64, p []byte) error {
 	for len(p) > 0 {
-		f, ok := as.Lookup(va)
-		if !ok {
-			return badVA("RawWrite", va)
-		}
 		off := int(va & mem.PageMask)
 		n := mem.PageSize - off
 		if n > len(p) {
 			n = len(p)
 		}
-		copy(as.Phys.Frame(f)[off:off+n], p[:n])
+		pt := as.root.walk(va, false)
+		if pt == nil {
+			return badVA("RawWrite", va)
+		}
+		e := pt.Entry(PTEIndex(va))
+		switch {
+		case e.Present:
+			copy(as.Phys.Frame(e.Frame)[off:off+n], p[:n])
+		case e.State == SwapSlot:
+			as.swapper.WriteSlot(e.Slot, off, p[:n])
+		case e.State == SwapZero:
+			if allZero(p[:n]) {
+				break // writing zeros to a zero page: no-op
+			}
+			var page [mem.PageSize]byte
+			copy(page[off:], p[:n])
+			slot, ok := as.swapper.AdmitPage(page[:])
+			if !ok {
+				return fmt.Errorf("mmu: RawWrite: va %#x: swap tier full", va)
+			}
+			pt.Lock()
+			e.Slot = slot
+			e.State = SwapSlot
+			pt.Unlock()
+		default:
+			return badVA("RawWrite", va)
+		}
 		va += uint64(n)
 		p = p[n:]
 	}
 	return nil
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachTable visits every allocated PTE table in ascending VA order,
+// calling fn with the table and the base VA of its 2 MiB span, until fn
+// returns false. The walk takes no locks — like Lookup it relies on
+// directory pointers being published before any PTE in them goes live —
+// so the reclaimer can scan for victims without stalling mutators that
+// hold the mapping lock.
+func (as *AddressSpace) ForEachTable(fn func(baseVA uint64, pt *PTETable) bool) {
+	for gi, pu := range as.root.puds {
+		if pu == nil {
+			continue
+		}
+		for ui, pm := range pu.pmds {
+			if pm == nil {
+				continue
+			}
+			for mi := range pm.tables {
+				pt := pm.tables[mi].Load()
+				if pt == nil {
+					continue
+				}
+				base := uint64(gi)<<pgdShift | uint64(ui)<<pudShift | uint64(mi)<<pmdShift
+				if !fn(base, pt) {
+					return
+				}
+			}
+		}
+	}
 }

@@ -3,6 +3,7 @@ package mmu
 import (
 	"repro/internal/cache"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Env carries everything a simulated thread needs to perform charged
@@ -35,6 +36,10 @@ type Env struct {
 	// drive the machine. Settlement is bit-identical either way; the flag
 	// only selects how fast the same numbers are produced.
 	Batch bool
+	// Trace is the context's event ring (nil when tracing is off —
+	// trace.Buffer methods are nil-safe). The swapper emits fault-in and
+	// reclaim events through it so swap episodes appear on timelines.
+	Trace *trace.Buffer
 }
 
 // NUMA is the placement-aware cost view a multi-socket machine installs on

@@ -31,11 +31,41 @@ const (
 	WalkLevels = 4
 )
 
-// PTE is one page-table entry: the frame backing a virtual page.
+// Swap states a non-present PTE can be in (PTE.State). SwapNone is the
+// zero value: a PTE that is either resident (Present) or plain unmapped,
+// exactly the two states that existed before the swap tier — so an
+// address space that never swaps is bit-identical to the pre-swap
+// simulator.
+const (
+	// SwapNone: resident or unmapped; Slot is meaningless.
+	SwapNone uint8 = iota
+	// SwapZero: mapped but never materialised (demand-zero). The first
+	// touch zero-fills a fresh frame — no tier slot is consumed, the
+	// same-filled-page optimisation zswap applies to all-zero pages.
+	SwapZero
+	// SwapSlot: swapped out; the page's bytes live in tier slot Slot.
+	SwapSlot
+)
+
+// PTE is one page-table entry: the frame backing a virtual page, plus
+// the swap-state machine the far-memory tier runs on. A page is in
+// exactly one of: unmapped (!Present, State==SwapNone), resident
+// (Present), demand-zero (State==SwapZero), or swapped (State==SwapSlot
+// with the tier slot in Slot). Accessed is the clock-algorithm
+// reference bit: the MMU sets it on page-table walks (TLB misses) when
+// a swap tier is armed, and the reclaimer clears it to give resident
+// pages a second chance before eviction.
 type PTE struct {
-	Frame   mem.FrameID
-	Present bool
+	Frame    mem.FrameID
+	Present  bool
+	Accessed bool
+	State    uint8
+	Slot     uint32
 }
+
+// Mapped reports whether the PTE belongs to a live mapping in any
+// state: resident, demand-zero, or swapped out.
+func (e *PTE) Mapped() bool { return e.Present || e.State != SwapNone }
 
 // PTETable is the last level of the tree: 512 PTEs guarded by one lock,
 // mirroring Linux's split page-table locks (pte_offset_map_lock locks the

@@ -42,6 +42,8 @@ func runOps() []runOp {
 		{run: Run{VA: MmapBase + 64, Words: 700}},              // re-read: mixed hits
 		{run: Run{VA: MmapBase, Stride: 64, Words: 200}},       // line-strided, 4 pages
 		{run: Run{VA: MmapBase + 8, Stride: 136, Words: 77, Write: true}},
+		{run: Run{VA: MmapBase, Stride: 64, Words: 200, Hot: true}}, // hot re-scan of warm lines
+		{run: Run{VA: MmapBase + 16, Stride: 72, Words: 150, Hot: true, Write: true}},
 		{run: Run{VA: MmapBase + 2*64, Words: 1}},
 		{run: Run{VA: MmapBase, Words: 0}},
 		{run: Run{VA: MmapBase, Words: 6000, Write: true}, data: true}, // wraps the LLC
@@ -139,6 +141,55 @@ func TestRunBatchedMatchesExact(t *testing.T) {
 	if envB.Perf.TLBMisses != envE.Perf.TLBMisses {
 		t.Errorf("TLB state diverges: %d vs %d misses after probing",
 			envB.Perf.TLBMisses, envE.Perf.TLBMisses)
+	}
+}
+
+// TestHotRunBatchedMatchesExactExclusive pins the Hot fast path: on an
+// exclusive (single-driver) cache the MRU probe skip actually engages,
+// and the batched hot settlement must still leave the identical clock,
+// counters and future cache behaviour as the exact per-word path, which
+// ignores the hint entirely. Includes a wrong hint (hot run over evicted
+// lines), which must only cost the probes it tried to save.
+func TestHotRunBatchedMatchesExactExclusive(t *testing.T) {
+	asB, envB := runFixture(t, true)
+	asE, envE := runFixture(t, false)
+	envB.Cache.SetExclusive(true)
+	envE.Cache.SetExclusive(true)
+	ops := []runOp{
+		{run: Run{VA: MmapBase, Stride: 64, Words: 256, Write: true}}, // warm the lines
+		{run: Run{VA: MmapBase, Stride: 64, Words: 256, Hot: true}},   // all-MRU re-scan
+		{run: Run{VA: MmapBase + 8, Stride: 136, Words: 90, Hot: true}},
+		{run: Run{VA: MmapBase, Words: 6000, Write: true}},          // wrap and evict
+		{run: Run{VA: MmapBase, Stride: 64, Words: 256, Hot: true}}, // wrong hint: cold
+		{run: Run{VA: MmapBase, Stride: 64, Words: 256}},
+	}
+	applyOps(t, asB, envB, ops)
+	applyOps(t, asE, envE, ops)
+	if got, want := envB.Clock.Now(), envE.Clock.Now(); got != want {
+		t.Errorf("clock diverges: batched-hot %v, exact %v (delta %g)", got, want, float64(got-want))
+	}
+	pB, pE := *envB.Perf, *envE.Perf
+	normalizePathCounters(&pB)
+	normalizePathCounters(&pE)
+	if pB != pE {
+		t.Errorf("perf diverges:\nbatched-hot: %+v\nexact:       %+v", pB, pE)
+	}
+	// Identical subsequent behaviour: a fresh probe sequence must see the
+	// same hits on both fixtures even though the hot path skipped probes.
+	for i := 0; i < 512; i++ {
+		va := MmapBase + uint64(i*104)&^7
+		paB, err := asB.Translate(envB, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paE, err := asE.Translate(envE, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hb, he := envB.Cache.Access(paB), envE.Cache.Access(paE); hb != he {
+			t.Fatalf("cache state diverges at probe %d (va %#x): batched-hot hit=%v, exact hit=%v",
+				i, va, hb, he)
+		}
 	}
 }
 

@@ -62,6 +62,13 @@ type Perf struct {
 	EmergencyGCs   uint64 // collections triggered by memory pressure
 	ReservedAllocs uint64 // frames drawn from the GC reserve pool
 	EvacFailures   uint64 // evacuation compactions degraded to in-place slide
+
+	// Swap tier (zero unless a swap tier is armed).
+	SwapOutPages   uint64 // pages written back to the tier by the reclaimer
+	SwapInPages    uint64 // major faults: swapped pages read back in
+	ZeroFillPages  uint64 // minor faults: demand-zero pages materialised
+	ReclaimRuns    uint64 // reclaimer activations (kswapd + direct)
+	DirectReclaims uint64 // of ReclaimRuns, synchronous direct reclaims
 }
 
 // Add accumulates other into p.
@@ -102,6 +109,11 @@ func (p *Perf) Add(other *Perf) {
 	p.EmergencyGCs += other.EmergencyGCs
 	p.ReservedAllocs += other.ReservedAllocs
 	p.EvacFailures += other.EvacFailures
+	p.SwapOutPages += other.SwapOutPages
+	p.SwapInPages += other.SwapInPages
+	p.ZeroFillPages += other.ZeroFillPages
+	p.ReclaimRuns += other.ReclaimRuns
+	p.DirectReclaims += other.DirectReclaims
 }
 
 // Reset zeroes all counters.

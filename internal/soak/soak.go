@@ -21,7 +21,9 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/mmu"
 	"repro/internal/sim"
+	"repro/internal/swaptier"
 )
 
 // Machine shape shared with the oom1 experiment: small enough that a
@@ -37,6 +39,14 @@ const (
 )
 
 var soakWatermarks = mem.Watermarks{Min: 8, Low: 16, High: 32}
+
+// swapEpisodePages is the per-cycle swap-out quota of the swap-mode
+// pressure episode: ballast writes continue until the reclaimer has
+// demoted at least this many pages to the tier. The episode is bounded
+// by observed tier traffic, not by free frames — kswapd keeps restoring
+// the pool above the low watermark, so a free-frame loop condition
+// would never terminate.
+const swapEpisodePages = 128
 
 // goroutineSlack tolerates host-runtime goroutines that come and go
 // outside our control; a real leak grows per cycle and blows past it.
@@ -56,6 +66,13 @@ type Config struct {
 	Watchdog sim.Time
 	// Seed drives the churn shape (default 42).
 	Seed int64
+	// Swap, when enabled, arms the far-memory plane on the soak machine.
+	// Each cycle then forces a swap-out/fault-in episode instead of the
+	// min-watermark fail-fast (direct reclaim keeps allocation working),
+	// and two extra leak invariants are checked per cycle: the tier holds
+	// zero slots after the closing full GC, and frames-in-use equals the
+	// heap's resident live prefix exactly. The zero value changes nothing.
+	Swap swaptier.Config
 	// Log, when set, receives a progress line per cycle.
 	Log io.Writer
 }
@@ -68,13 +85,19 @@ type Result struct {
 	Stalls      uint64 // low-watermark mutator stalls
 	Emergency   uint64 // emergency collections triggered by pressure
 	FailFasts   uint64 // min-watermark structured allocation refusals
+	SwapOuts    uint64 // pages the tier absorbed (swap mode)
+	SwapIns     uint64 // pages faulted back from the tier (swap mode)
 	Baseline    int    // frames-in-use invariant baseline
 	SimTime     sim.Time
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("%d cycles, %d collections (%d degraded moves), %d stalls, %d emergency GCs, %d fail-fasts, baseline %d frames, %v simulated",
+	s := fmt.Sprintf("%d cycles, %d collections (%d degraded moves), %d stalls, %d emergency GCs, %d fail-fasts, baseline %d frames, %v simulated",
 		r.Cycles, r.Collections, r.Degraded, r.Stalls, r.Emergency, r.FailFasts, r.Baseline, r.SimTime)
+	if r.SwapOuts > 0 || r.SwapIns > 0 {
+		s += fmt.Sprintf(", %d swap-outs / %d swap-ins", r.SwapOuts, r.SwapIns)
+	}
+	return s
 }
 
 // Run executes the soak loop and returns an error on the first invariant
@@ -98,10 +121,12 @@ func Run(cfg Config) (*Result, error) {
 		workers = 4
 	}
 
+	swapMode := cfg.Swap.Enabled()
 	m, err := machine.New(machine.Config{
 		Cost:         sim.XeonGold6130(),
 		PhysBytes:    soakPhysFrames << mem.PageShift,
 		Watermarks:   soakWatermarks,
+		Swap:         cfg.Swap,
 		SingleDriver: true,
 	})
 	if err != nil {
@@ -119,6 +144,13 @@ func Run(cfg Config) (*Result, error) {
 	ballast := m.NewAddressSpace()
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{}
+	// Swap mode materialises ballast pages through charged accesses (a
+	// lazy Map consumes no frames, so an uncharged ballast would never
+	// pressure the pool); bctx is the context those accesses bill.
+	var bctx *machine.Context
+	if swapMode {
+		bctx = m.NewContext(0)
+	}
 
 	sizes := []int{96, 4096, 16 << 10, 64 << 10}
 	var live []*gc.Root
@@ -135,39 +167,88 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return fmt.Errorf("cycle %d: churn alloc: %w", n, err)
 			}
+			if swapMode {
+				// Non-zero live data, so demoted heap pages occupy real
+				// tier slots instead of collapsing to swap-zero entries.
+				if err := j.Heap.WritePayloadWords(th.Ctx, r.Obj, 0, 0,
+					[]uint64{uint64(n)<<32 | uint64(i+1)}); err != nil {
+					return fmt.Errorf("cycle %d: churn payload: %w", n, err)
+				}
+			}
 			live = append(live, r)
 		}
 		if _, err := j.CollectNow(); err != nil {
 			return fmt.Errorf("cycle %d: collection: %w", n, err)
 		}
 
-		// Pressure episode: ballast to the low watermark and allocate —
-		// the mutator must stall and trigger an emergency collection, not
-		// fail.
-		mapped := 0
-		for m.Phys.FreeFrames() > soakWatermarks.Low {
-			if err := ballast.Map(ballastVA+uint64(mapped)<<mem.PageShift, 1); err != nil {
-				return fmt.Errorf("cycle %d: ballast to low: %w", n, err)
+		if swapMode {
+			// Swap episode: dirty ballast pages through charged writes
+			// until the reclaimer has demoted a batch to the tier.
+			st := m.SwapTier()
+			startOut := st.Stats().OutPages
+			mapped := 0
+			for st.Stats().OutPages < startOut+swapEpisodePages {
+				if mapped >= 4*soakPhysFrames {
+					return fmt.Errorf("cycle %d: %d ballast writes forced only %d swap-outs (want %d)",
+						n, mapped, st.Stats().OutPages-startOut, swapEpisodePages)
+				}
+				va := ballastVA + uint64(mapped)<<mem.PageShift
+				if err := ballast.Map(va, 1); err != nil {
+					return fmt.Errorf("cycle %d: ballast map: %w", n, err)
+				}
+				if err := ballast.WriteWord(&bctx.Env, va, uint64(n)<<32|uint64(mapped+1)); err != nil {
+					return fmt.Errorf("cycle %d: ballast write: %w", n, err)
+				}
+				mapped++
 			}
-			mapped++
-		}
-		if _, err := th.Alloc(heap.AllocSpec{Payload: 256}); err != nil {
-			return fmt.Errorf("cycle %d: allocation at the low watermark failed (want stall): %w", n, err)
-		}
-		// Deeper: ballast to the min watermark — allocation must now fail
-		// fast with the structured pressure error.
-		for m.Phys.FreeFrames() > soakWatermarks.Min {
-			if err := ballast.Map(ballastVA+uint64(mapped)<<mem.PageShift, 1); err != nil {
-				return fmt.Errorf("cycle %d: ballast to min: %w", n, err)
+			// With a tier behind the pool, allocation keeps working under
+			// reclaim pressure — direct reclaim, not fail-fast.
+			if _, err := th.Alloc(heap.AllocSpec{Payload: 256}); err != nil {
+				return fmt.Errorf("cycle %d: allocation under reclaim pressure failed: %w", n, err)
 			}
-			mapped++
+			// Fault-in episode: every ballast word must survive its tier
+			// round trip bit-exactly.
+			for p := 0; p < mapped; p++ {
+				va := ballastVA + uint64(p)<<mem.PageShift
+				v, err := ballast.ReadWord(&bctx.Env, va)
+				if err != nil {
+					return fmt.Errorf("cycle %d: ballast read-back: %w", n, err)
+				}
+				if want := uint64(n)<<32 | uint64(p+1); v != want {
+					return fmt.Errorf("cycle %d: ballast page %d corrupted across the tier: got %#x, want %#x",
+						n, p, v, want)
+				}
+			}
+			ballast.Unmap(ballastVA, mapped, true)
+		} else {
+			// Pressure episode: ballast to the low watermark and allocate —
+			// the mutator must stall and trigger an emergency collection, not
+			// fail.
+			mapped := 0
+			for m.Phys.FreeFrames() > soakWatermarks.Low {
+				if err := ballast.Map(ballastVA+uint64(mapped)<<mem.PageShift, 1); err != nil {
+					return fmt.Errorf("cycle %d: ballast to low: %w", n, err)
+				}
+				mapped++
+			}
+			if _, err := th.Alloc(heap.AllocSpec{Payload: 256}); err != nil {
+				return fmt.Errorf("cycle %d: allocation at the low watermark failed (want stall): %w", n, err)
+			}
+			// Deeper: ballast to the min watermark — allocation must now fail
+			// fast with the structured pressure error.
+			for m.Phys.FreeFrames() > soakWatermarks.Min {
+				if err := ballast.Map(ballastVA+uint64(mapped)<<mem.PageShift, 1); err != nil {
+					return fmt.Errorf("cycle %d: ballast to min: %w", n, err)
+				}
+				mapped++
+			}
+			_, allocErr := th.Alloc(heap.AllocSpec{Payload: 256})
+			if !errors.Is(allocErr, jvm.ErrMemoryPressure) {
+				return fmt.Errorf("cycle %d: allocation at the min watermark returned %v, want ErrMemoryPressure", n, allocErr)
+			}
+			res.FailFasts++
+			ballast.Unmap(ballastVA, mapped, true)
 		}
-		_, allocErr := th.Alloc(heap.AllocSpec{Payload: 256})
-		if !errors.Is(allocErr, jvm.ErrMemoryPressure) {
-			return fmt.Errorf("cycle %d: allocation at the min watermark returned %v, want ErrMemoryPressure", n, allocErr)
-		}
-		res.FailFasts++
-		ballast.Unmap(ballastVA, mapped, true)
 
 		// Collect once more with pressure released so the next cycle starts
 		// from a compacted heap.
@@ -188,13 +269,41 @@ func Run(cfg Config) (*Result, error) {
 
 	start := time.Now()
 	for n := 1; n == 1 || time.Since(start) < duration; n++ {
+		var prevOut, prevIn uint64
+		if swapMode {
+			st := m.SwapTier().Stats()
+			prevOut, prevIn = st.OutPages, st.InPages
+		}
 		if err := cycle(n); err != nil {
 			return res, err
 		}
 		res.Cycles++
-		// Invariant: every frame the cycle took is back — the pool returns
-		// to the warm baseline exactly, every cycle.
-		if got := int(m.Phys.Usage().InUse); got != res.Baseline {
+		if swapMode {
+			// Invariant: the episode moved pages both ways, the closing
+			// full GC emptied the tier (no orphaned slots, swapped-page
+			// count back to zero), and every in-use frame is reachable
+			// from a present PTE.
+			st := m.SwapTier().Stats()
+			if st.OutPages == prevOut || st.InPages == prevIn {
+				return res, fmt.Errorf("cycle %d: swap episode inert: %d swap-outs, %d swap-ins this cycle",
+					n, st.OutPages-prevOut, st.InPages-prevIn)
+			}
+			if got := m.SwappedPages(); got != 0 {
+				return res, fmt.Errorf("cycle %d: %d pages still swapped after the closing full GC\n%s",
+					n, got, m.MemReport())
+			}
+			if st.Slots != 0 || st.ZpoolUsed != 0 || st.FarUsed != 0 {
+				return res, fmt.Errorf("cycle %d: orphaned tier slots after full GC: %+v", n, st)
+			}
+			if got, want := int(m.Phys.Usage().InUse), residentPages(j.AS)+residentPages(ballast); got != want {
+				return res, fmt.Errorf("cycle %d: frame leak: %d frames in use, %d reachable from present PTEs\n%s",
+					n, got, want, m.MemReport())
+			}
+		} else if got := int(m.Phys.Usage().InUse); got != res.Baseline {
+			// Invariant: every frame the cycle took is back — the pool
+			// returns to the warm baseline exactly, every cycle. (Swap mode
+			// uses the PTE-exact check above instead: the resident set
+			// legitimately varies with what the sweep drained.)
 			return res, fmt.Errorf("cycle %d: frame leak: %d frames in use, baseline %d\n%s",
 				n, got, res.Baseline, m.MemReport())
 		}
@@ -217,5 +326,24 @@ func Run(cfg Config) (*Result, error) {
 	res.Stalls = perf.PressureStalls
 	res.Emergency = perf.EmergencyGCs
 	res.SimTime = j.AppTime()
+	if swapMode {
+		st := m.SwapTier().Stats()
+		res.SwapOuts, res.SwapIns = st.OutPages, st.InPages
+	}
 	return res, nil
+}
+
+// residentPages counts present PTEs — pages actually holding a frame —
+// across one address space's tables.
+func residentPages(as *mmu.AddressSpace) int {
+	n := 0
+	as.ForEachTable(func(_ uint64, pt *mmu.PTETable) bool {
+		for i := 0; i < 512; i++ {
+			if pt.Entry(i).Present {
+				n++
+			}
+		}
+		return true
+	})
+	return n
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/jvm"
 	"repro/internal/sim"
+	"repro/internal/swaptier"
 )
 
 // TestSoakSVAGC runs a short soak under the paper's collector: at least
@@ -50,6 +51,33 @@ func TestSoakCopyGC(t *testing.T) {
 	}
 	if res.Degraded == 0 {
 		t.Error("copygc soak never degraded despite min-watermark episodes")
+	}
+}
+
+// TestSoakSwapTier arms the far-memory plane: every cycle forces a
+// swap-out/fault-in episode with bit-exact data round trips, allocation
+// keeps working under reclaim pressure (no fail-fasts), and the tier
+// leak invariants hold — zero slots after each closing full GC, frames
+// exactly matching the present PTEs. The tiny zpool forces spill to the
+// simulated far device, so both tiers see traffic.
+func TestSoakSwapTier(t *testing.T) {
+	res, err := Run(Config{
+		Collector: jvm.CollectorSVAGC,
+		Duration:  200 * time.Millisecond,
+		Watchdog:  10 * sim.Second,
+		Swap:      swaptier.Config{ZpoolBytes: 4 << 10, FarBytes: 64 << 20},
+	})
+	if err != nil {
+		t.Fatalf("swap soak failed: %v (after %+v)", err, res)
+	}
+	if res.Cycles < 2 {
+		t.Fatalf("ran %d cycles, want >= 2", res.Cycles)
+	}
+	if res.SwapOuts == 0 || res.SwapIns == 0 {
+		t.Errorf("swap soak moved no pages: %+v", res)
+	}
+	if res.FailFasts != 0 {
+		t.Errorf("%d fail-fasts with a swap tier behind the pool (direct reclaim must serve instead)", res.FailFasts)
 	}
 }
 

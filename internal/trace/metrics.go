@@ -57,6 +57,12 @@ type Snapshot struct {
 	SwapFallbacks uint64 // per-object degradations to byte copy (KindFallback)
 	SwapRollbacks uint64 // transactional undos of partial swaps (KindRollback)
 	IPIResends    uint64 // shootdown IPIs re-sent after ack timeouts
+
+	// Swap tier (internal/swaptier): reclaim write-backs, demand
+	// fault-ins, and reclaimer activations.
+	SwapOutPages uint64 // pages written to the tier (KindSwapOut)
+	SwapInPages  uint64 // pages faulted back in (KindSwapIn)
+	ReclaimRuns  uint64 // reclaimer activations (KindReclaim)
 }
 
 // SnapshotOf aggregates the current metric state of the given tracers.
@@ -90,6 +96,9 @@ func SnapshotOf(tracers ...*Tracer) *Snapshot {
 			s.SwapFallbacks += b.m.fallbacks
 			s.SwapRollbacks += b.m.rollbacks
 			s.IPIResends += b.m.ipiResends
+			s.SwapOutPages += b.m.swapOutPages
+			s.SwapInPages += b.m.swapInPages
+			s.ReclaimRuns += b.m.reclaimRuns
 		}
 		t.mu.Unlock()
 	}
@@ -120,6 +129,9 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	s.SwapFallbacks += other.SwapFallbacks
 	s.SwapRollbacks += other.SwapRollbacks
 	s.IPIResends += other.IPIResends
+	s.SwapOutPages += other.SwapOutPages
+	s.SwapInPages += other.SwapInPages
+	s.ReclaimRuns += other.ReclaimRuns
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -183,6 +195,15 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if err := p("# HELP svagc_ipi_resends_total Shootdown IPIs re-sent after dropped-ack timeouts.\n# TYPE svagc_ipi_resends_total counter\nsvagc_ipi_resends_total %d\n", s.IPIResends); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_swap_out_pages_total Pages written to the swap tier by the reclaimer.\n# TYPE svagc_swap_out_pages_total counter\nsvagc_swap_out_pages_total %d\n", s.SwapOutPages); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_swap_in_pages_total Swapped pages faulted back to residence.\n# TYPE svagc_swap_in_pages_total counter\nsvagc_swap_in_pages_total %d\n", s.SwapInPages); err != nil {
+		return err
+	}
+	if err := p("# HELP svagc_reclaim_runs_total Reclaimer activations (kswapd wakeups plus direct reclaims).\n# TYPE svagc_reclaim_runs_total counter\nsvagc_reclaim_runs_total %d\n", s.ReclaimRuns); err != nil {
 		return err
 	}
 	for _, h := range []struct {

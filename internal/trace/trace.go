@@ -87,8 +87,18 @@ const (
 	// KindWatchdog is a GC-watchdog deadline expiry. Arg1 = elapsed ns in
 	// the stuck phase, Arg2 = the armed deadline ns.
 	KindWatchdog
+	// KindSwapOut spans one reclaim batch writing cold pages to the swap
+	// tier. Arg1 = pages written out, Arg2 = pages discarded as zero-fill.
+	KindSwapOut
+	// KindSwapIn spans one demand fault bringing a swapped page back to
+	// residence (major fault). Arg1 = 1 (pages), Arg2 = the faulting VA.
+	KindSwapIn
+	// KindReclaim spans one reclaimer activation (a kswapd wakeup or a
+	// direct-reclaim episode). Arg1 = frames freed, Arg2 = 1 for direct
+	// reclaim, 0 for the background (kswapd) path.
+	KindReclaim
 
-	numKinds = int(KindWatchdog) + 1
+	numKinds = int(KindReclaim) + 1
 )
 
 // String returns the stable lower-case name used in metrics labels and
@@ -129,6 +139,12 @@ func (k Kind) String() string {
 		return "pressure"
 	case KindWatchdog:
 		return "watchdog"
+	case KindSwapOut:
+		return "swap_out"
+	case KindSwapIn:
+		return "swap_in"
+	case KindReclaim:
+		return "reclaim"
 	default:
 		return "unknown"
 	}
@@ -154,8 +170,13 @@ const (
 	// FaultInterconnect is a NUMA interconnect brownout: cross-socket
 	// latency and bandwidth costs degrade for the affected access.
 	FaultInterconnect
+	// FaultFarWrite fails a write to the far (NVMe) swap tier with a
+	// transient device error: a reclaim write-back skips the page (it
+	// stays resident), and a SwapVA touching a swapped PTE aborts and
+	// rolls back through the transaction log.
+	FaultFarWrite
 
-	NumFaultSites = int(FaultInterconnect) + 1
+	NumFaultSites = int(FaultFarWrite) + 1
 )
 
 // String returns the stable site name used in metrics labels and fault
@@ -172,6 +193,8 @@ func (s FaultSite) String() string {
 		return "frame_poison"
 	case FaultInterconnect:
 		return "interconnect"
+	case FaultFarWrite:
+		return "far_write"
 	default:
 		return "unknown"
 	}
@@ -187,6 +210,8 @@ func (k Kind) Category() string {
 		return "fault"
 	case KindPressure, KindWatchdog:
 		return "pressure"
+	case KindSwapOut, KindSwapIn, KindReclaim:
+		return "reclaim"
 	case KindFlushLocal, KindFlushPage, KindShootdown:
 		return "tlb"
 	case KindBus:
@@ -425,6 +450,11 @@ type bufMetrics struct {
 	fallbacks   uint64
 	rollbacks   uint64
 	ipiResends  uint64
+
+	// Swap tier (internal/swaptier), fed by the reclaim/fault-in events.
+	swapOutPages uint64
+	swapInPages  uint64
+	reclaimRuns  uint64
 }
 
 func (m *bufMetrics) observe(k Kind, dur sim.Time, a1, a2 uint64, ts sim.Time) {
@@ -457,5 +487,11 @@ func (m *bufMetrics) observe(k Kind, dur sim.Time, a1, a2 uint64, ts sim.Time) {
 		m.fallbacks++
 	case KindRollback:
 		m.rollbacks++
+	case KindSwapOut:
+		m.swapOutPages += a1
+	case KindSwapIn:
+		m.swapInPages += a1
+	case KindReclaim:
+		m.reclaimRuns++
 	}
 }
