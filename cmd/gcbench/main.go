@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +48,8 @@ func main() {
 		swapTier = flag.Int64("swap-tier", 0, "far (NVMe) swap-tier capacity in MiB for the far-memory figures, e.g. oversub1 (0 with -zpool 0 = each figure's built-in tier)")
 		zpool    = flag.Int64("zpool", 0, "compressed-RAM zpool budget in MiB in front of the far tier")
 		farLat   = flag.Int64("far-lat", 0, "far-device access latency in ns (0 = default 10000)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -111,6 +114,20 @@ func main() {
 		}
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	// Tables go to stdout and nothing else does: stdout is byte-comparable
 	// across -parallel settings (the CI smoke step diffs it). Timing and
 	// the simulation-rate summary go to stderr.
@@ -139,6 +156,15 @@ func main() {
 	if *metrics != "" {
 		if err := writeFile(*metrics, trace.SnapshotOf(tracers...).WritePrometheus); err != nil {
 			fmt.Fprintln(os.Stderr, "gcbench: metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProf != "" {
+		runtime.GC() // fold transient garbage so the profile shows live + cumulative allocs honestly
+		if err := writeFile(*memProf, func(w io.Writer) error {
+			return pprof.Lookup("allocs").WriteTo(w, 0)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench: memprofile:", err)
 			os.Exit(1)
 		}
 	}

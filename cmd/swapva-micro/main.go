@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/sim"
@@ -43,6 +44,7 @@ func main() {
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	}
+	wallStart := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		ok := false
@@ -68,4 +70,13 @@ func main() {
 		fmt.Print(res.Format())
 		fmt.Println()
 	}
+	// The same simulation-rate line gcbench prints for workload runs,
+	// over the microbenchmark episodes, so micro and macro throughput
+	// numbers are directly comparable. Stderr, like gcbench: stdout
+	// stays byte-comparable across hosts.
+	wall := time.Since(wallStart).Seconds()
+	runs, simNs := bench.MicroStats()
+	fmt.Fprintf(os.Stderr,
+		"harness: %d micro episodes, %.3fs simulated in %.1fs wall — %.0f sim-ns/host-ms, %.2f episodes/s\n",
+		runs, simNs.Seconds(), wall, float64(simNs)/(wall*1e3), float64(runs)/wall)
 }

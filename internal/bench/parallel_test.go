@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/swaptier"
 	"repro/internal/topology"
 )
 
@@ -95,6 +96,23 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 	}
 	if k := cacheKey(Options{Quick: true}, "svagc", "CryptoAES", 1.2, 1); k != variants[0].key {
 		t.Errorf("Quick changed the cache key: %q vs %q", k, variants[0].key)
+	}
+	// Swap is excluded because no run that reaches the cache is ever
+	// swap-armed (oversub1 builds its machines directly): the tier shape
+	// — including its float bandwidth knob — must not perturb the key.
+	swapped := Options{Swap: swaptier.Config{FarBytes: 64 << 20, ZpoolBytes: 8 << 20,
+		FarLatNs: 25_000, FarBWGBs: 1.5}}
+	if k := cacheKey(swapped, "svagc", "CryptoAES", 1.2, 1); k != variants[0].key {
+		t.Errorf("Swap changed the cache key: %q vs %q", k, variants[0].key)
+	}
+
+	// FaultRate gets the same exact-serialisation guarantee as factor:
+	// rates that differ beyond fixed-precision formatting must not share
+	// a key, or one rate's cached result would stand in for the other's.
+	ra := cacheKey(Options{FaultRate: 0.0101}, "svagc", "CryptoAES", 1.2, 1)
+	rb := cacheKey(Options{FaultRate: 0.0104}, "svagc", "CryptoAES", 1.2, 1)
+	if ra == rb {
+		t.Errorf("fault rates 0.0101 and 0.0104 share cache key %q", ra)
 	}
 }
 

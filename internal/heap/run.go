@@ -44,3 +44,20 @@ func (h *Heap) ReadPayloadWords(ctx *machine.Context, o Object, numRefs, off int
 func (h *Heap) WritePayloadWords(ctx *machine.Context, o Object, numRefs, off int, src []uint64) error {
 	return h.AS.WriteRun(&ctx.Env, o.PayloadVA(numRefs)+uint64(off), src)
 }
+
+// ReadPayloadStream reads len(dst) consecutive payload words starting at
+// byte offset off as one charged sequential stream — charge-identical to
+// ReadPayload of the same 8*len(dst) bytes, with no intermediate byte
+// buffer or decode loop. Streams are bandwidth-charged, unlike the
+// latency-charged ReadPayloadWords above: pick the accessor that matches
+// what the call site charged before conversion.
+func (h *Heap) ReadPayloadStream(ctx *machine.Context, o Object, numRefs, off int, dst []uint64) error {
+	return h.AS.ReadWords(&ctx.Env, o.PayloadVA(numRefs)+uint64(off), dst, false)
+}
+
+// WritePayloadStream writes src as one charged sequential stream —
+// charge-identical to WritePayload of the same bytes. Payload words carry
+// no references, so no write barrier applies.
+func (h *Heap) WritePayloadStream(ctx *machine.Context, o Object, numRefs, off int, src []uint64) error {
+	return h.AS.WriteWords(&ctx.Env, o.PayloadVA(numRefs)+uint64(off), src, false)
+}

@@ -76,6 +76,19 @@ type Thread struct {
 	ID   int
 	Ctx  *machine.Context
 	TLAB heap.TLAB
+
+	scratch []byte
+}
+
+// Scratch returns an n-byte host-side scratch buffer owned by the thread,
+// growing it as needed. Contents are unspecified — callers must overwrite
+// the slice before reading it — and the buffer is recycled on the next
+// call, so no caller may hold it across another Scratch use.
+func (t *Thread) Scratch(n int) []byte {
+	if cap(t.scratch) < n {
+		t.scratch = make([]byte, n)
+	}
+	return t.scratch[:n]
 }
 
 // New builds a JVM on m.

@@ -401,16 +401,16 @@ func (as *AddressSpace) WriteWord(env *Env, va uint64, val uint64) error {
 // Read copies len(p) bytes from va into p as a charged sequential stream.
 func (as *AddressSpace) Read(env *Env, va uint64, p []byte) error {
 	env.Perf.BytesRead += uint64(len(p))
-	return as.bulk(env, va, p, false)
+	return as.bulk(env, va, p, false, false)
 }
 
 // Write copies p to va as a charged sequential stream.
 func (as *AddressSpace) Write(env *Env, va uint64, p []byte) error {
 	env.Perf.BytesWrite += uint64(len(p))
-	return as.bulk(env, va, p, true)
+	return as.bulk(env, va, p, true, false)
 }
 
-func (as *AddressSpace) bulk(env *Env, va uint64, p []byte, write bool) error {
+func (as *AddressSpace) bulk(env *Env, va uint64, p []byte, write, cold bool) error {
 	for len(p) > 0 {
 		f, err := as.translatePage(env, va)
 		if err != nil {
@@ -422,7 +422,7 @@ func (as *AddressSpace) bulk(env *Env, va uint64, p []byte, write bool) error {
 			n = len(p)
 		}
 		pa := uint64(f)<<mem.PageShift | uint64(off)
-		env.chargeBulkAccess(pa, n, write)
+		env.chargeBulkAccessHint(pa, n, write, cold)
 		frame := as.Phys.Frame(f)
 		if write {
 			copy(frame[off:off+n], p[:n])
@@ -437,29 +437,32 @@ func (as *AddressSpace) bulk(env *Env, va uint64, p []byte, write bool) error {
 
 // Copy performs a charged memmove of n bytes from src to dst within the
 // address space, handling overlap like memmove. It charges a streaming
-// read of the source plus a streaming write of the destination; the
-// actual byte movement goes through an intermediate buffer, which is a
-// host-side implementation detail with no simulated cost.
+// read of the source plus a streaming write of the destination (declared
+// as two streams); the actual byte movement is frame-to-frame with no
+// simulated cost of its own. With a swap tier armed, bytes may live in
+// tier slots or demand-zero pages, so the movement falls back to a
+// buffered RawRead+RawWrite that understands every residency state.
 func (as *AddressSpace) Copy(env *Env, dst, src uint64, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	if err := as.chargeRange(env, src, n, false); err != nil {
+	if err := as.ChargeStream(env, src, n, false, false); err != nil {
 		return err
 	}
-	if err := as.chargeRange(env, dst, n, true); err != nil {
+	if err := as.ChargeStream(env, dst, n, true, false); err != nil {
 		return err
 	}
-	env.Perf.BytesRead += uint64(n)
-	env.Perf.BytesWrite += uint64(n)
-	tmp := make([]byte, n)
-	if err := as.RawRead(src, tmp); err != nil {
-		return err
+	if as.swapper != nil {
+		tmp := make([]byte, n)
+		if err := as.RawRead(src, tmp); err != nil {
+			return err
+		}
+		return as.RawWrite(dst, tmp)
 	}
-	return as.RawWrite(dst, tmp)
+	return as.moveBytes(dst, src, n)
 }
 
-func (as *AddressSpace) chargeRange(env *Env, va uint64, n int, write bool) error {
+func (as *AddressSpace) chargeRange(env *Env, va uint64, n int, write, cold bool) error {
 	for n > 0 {
 		f, err := as.translatePage(env, va)
 		if err != nil {
@@ -470,7 +473,7 @@ func (as *AddressSpace) chargeRange(env *Env, va uint64, n int, write bool) erro
 		if seg > n {
 			seg = n
 		}
-		env.chargeBulkAccess(uint64(f)<<mem.PageShift|uint64(off), seg, write)
+		env.chargeBulkAccessHint(uint64(f)<<mem.PageShift|uint64(off), seg, write, cold)
 		va += uint64(seg)
 		n -= seg
 	}

@@ -36,6 +36,14 @@ type Run struct {
 	// wrong hint costs nothing; hit/miss results and all charges are
 	// bit-identical either way.
 	Hot bool
+	// Cold hints that the run expects to miss every line — first-touch
+	// sweeps on a fresh machine, post-InvalidateAll streams. Advisory
+	// like Hot (with which it is mutually exclusive): settlement probes
+	// the LLC through cache.AccessCold/AccessRangeCold, which install
+	// lines in closed form for sets the model can prove empty and fall
+	// back to the full probe everywhere else. Results and charges are
+	// bit-identical either way.
+	Cold bool
 }
 
 func (r Run) stride() int {
@@ -49,6 +57,9 @@ func (r Run) validate() error {
 	if r.VA%8 != 0 || r.Words < 0 || r.stride() < 8 || r.stride()%8 != 0 {
 		return fmt.Errorf("mmu: invalid run %+v (VA must be 8-aligned, stride a positive multiple of 8)", r)
 	}
+	if r.Hot && r.Cold {
+		return fmt.Errorf("mmu: invalid run %+v (Hot and Cold are mutually exclusive hints)", r)
+	}
 	return nil
 }
 
@@ -61,7 +72,7 @@ func (as *AddressSpace) ChargeRun(env *Env, r Run) error {
 	}
 	env.Perf.ChargeRuns++
 	env.Perf.RunWords += uint64(r.Words)
-	return as.settleRun(env, r.VA, r.stride(), r.Words, r.Write, r.Hot, nil)
+	return as.settleRun(env, r.VA, r.stride(), r.Words, r.Write, r.Hot, r.Cold, nil)
 }
 
 // ReadRun performs len(dst) charged dense word loads starting at va,
@@ -72,7 +83,7 @@ func (as *AddressSpace) ReadRun(env *Env, va uint64, dst []uint64) error {
 	}
 	env.Perf.ChargeRuns++
 	env.Perf.RunWords += uint64(len(dst))
-	return as.settleRun(env, va, 8, len(dst), false, false, dst)
+	return as.settleRun(env, va, 8, len(dst), false, false, false, dst)
 }
 
 // WriteRun performs len(src) charged dense word stores starting at va.
@@ -84,7 +95,7 @@ func (as *AddressSpace) WriteRun(env *Env, va uint64, src []uint64) error {
 	}
 	env.Perf.ChargeRuns++
 	env.Perf.RunWords += uint64(len(src))
-	return as.settleRun(env, va, 8, len(src), true, false, src)
+	return as.settleRun(env, va, 8, len(src), true, false, false, src)
 }
 
 // settleRun charges (and, when data is non-nil, moves) the run's words.
@@ -96,7 +107,7 @@ func (as *AddressSpace) WriteRun(env *Env, va uint64, src []uint64) error {
 // construction, and per-line cache probes are shared with the per-word
 // path (cache.AccessRange's set-level integration), so word-level hits
 // are exactly words minus line misses.
-func (as *AddressSpace) settleRun(env *Env, va uint64, stride, words int, write, hot bool, data []uint64) error {
+func (as *AddressSpace) settleRun(env *Env, va uint64, stride, words int, write, hot, cold bool, data []uint64) error {
 	if words == 0 {
 		return nil
 	}
@@ -141,8 +152,15 @@ func (as *AddressSpace) settleRun(env *Env, va uint64, stride, words int, write,
 			case stride == 8:
 				// Dense: every line probed once; within a line, words
 				// after the first are repeat-line hits. Word-level misses
-				// are therefore exactly the line misses.
-				_, lineMisses := env.Cache.AccessRange(pa, 8*k)
+				// are therefore exactly the line misses. Cold-hinted runs
+				// take the range-miss fast path (closed-form installs for
+				// provably empty sets, full probe elsewhere).
+				var lineMisses int
+				if cold {
+					_, lineMisses = env.Cache.AccessRangeCold(pa, 8*k)
+				} else {
+					_, lineMisses = env.Cache.AccessRange(pa, 8*k)
+				}
 				hits, misses = k-lineMisses, lineMisses
 			case hot:
 				// Hot-hinted strided probes skip the set scan for lines the
@@ -150,6 +168,17 @@ func (as *AddressSpace) settleRun(env *Env, va uint64, stride, words int, write,
 				// same charges, a fraction of the host work.
 				for i := 0; i < k; i++ {
 					if env.Cache.AccessHot(pa + uint64(i*stride)) {
+						hits++
+					} else {
+						misses++
+					}
+				}
+			case cold:
+				// Cold-hinted strided probes install lines in closed form
+				// for sets the LLC can prove empty and fall back to the
+				// full probe everywhere else.
+				for i := 0; i < k; i++ {
+					if env.Cache.AccessCold(pa + uint64(i*stride)) {
 						hits++
 					} else {
 						misses++

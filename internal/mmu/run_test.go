@@ -193,6 +193,140 @@ func TestHotRunBatchedMatchesExactExclusive(t *testing.T) {
 	}
 }
 
+// TestColdRunBatchedMatchesExactExclusive pins the Cold fast path, the
+// all-miss dual of the hot test above: on an exclusive cache the
+// closed-form install actually engages for provably-empty sets, and the
+// batched cold settlement must leave the identical clock, counters and
+// future cache behaviour as the exact per-word path, which ignores the
+// hint. Includes wrong hints (cold runs over warmed sets) and an
+// InvalidateAll that re-arms the cold proof mid-sequence.
+func TestColdRunBatchedMatchesExactExclusive(t *testing.T) {
+	asB, envB := runFixture(t, true)
+	asE, envE := runFixture(t, false)
+	envB.Cache.SetExclusive(true)
+	envE.Cache.SetExclusive(true)
+	ops := []runOp{
+		{run: Run{VA: MmapBase, Words: 700, Write: true, Cold: true}, data: true}, // dense first touch, wraps the 64 sets
+		{run: Run{VA: MmapBase + 8192, Stride: 128, Words: 40, Cold: true}},       // strided, mixed cold/warm sets
+		{run: Run{VA: MmapBase, Words: 700, Cold: true}},                          // wrong hint: everything warm
+		{run: Run{VA: MmapBase, Words: 6000, Write: true}},                        // unhinted wrap-and-evict
+		{run: Run{VA: MmapBase + 16384, Words: 512, Cold: true}, data: true},      // wrong hint after the wrap
+	}
+	applyOps(t, asB, envB, ops)
+	applyOps(t, asE, envE, ops)
+	// Re-arm the proof: after InvalidateAll every set's tick is zero
+	// again, so the next cold runs take the closed-form install.
+	envB.Cache.InvalidateAll()
+	envE.Cache.InvalidateAll()
+	applyOps(t, asB, envB, []runOp{
+		{run: Run{VA: MmapBase, Stride: 192, Words: 60, Cold: true}},
+		{run: Run{VA: MmapBase + 64, Words: 900, Cold: true, Write: true}, data: true},
+	})
+	applyOps(t, asE, envE, []runOp{
+		{run: Run{VA: MmapBase, Stride: 192, Words: 60, Cold: true}},
+		{run: Run{VA: MmapBase + 64, Words: 900, Cold: true, Write: true}, data: true},
+	})
+	if got, want := envB.Clock.Now(), envE.Clock.Now(); got != want {
+		t.Errorf("clock diverges: batched-cold %v, exact %v (delta %g)", got, want, float64(got-want))
+	}
+	pB, pE := *envB.Perf, *envE.Perf
+	normalizePathCounters(&pB)
+	normalizePathCounters(&pE)
+	if pB != pE {
+		t.Errorf("perf diverges:\nbatched-cold: %+v\nexact:        %+v", pB, pE)
+	}
+	for i := 0; i < 512; i++ {
+		va := MmapBase + uint64(i*104)&^7
+		paB, err := asB.Translate(envB, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paE, err := asE.Translate(envE, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hb, he := envB.Cache.Access(paB), envE.Cache.Access(paE); hb != he {
+			t.Fatalf("cache state diverges at probe %d (va %#x): batched-cold hit=%v, exact hit=%v",
+				i, va, hb, he)
+		}
+	}
+}
+
+// TestRunHintRandomizedParity is the randomized property the ISSUE asks
+// for: arbitrary stride/length/hint combinations — dense and strided,
+// Hot, Cold and unhinted, charge-only and data-moving, on exclusive and
+// shared caches — settled batched and exact must agree on the clock,
+// every counter and all future cache behaviour. The seed is logged so a
+// failure reproduces.
+func TestRunHintRandomizedParity(t *testing.T) {
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	const span = 16 * 4096 // the fixture's mapped bytes
+	for trial := 0; trial < 6; trial++ {
+		exclusive := trial%2 == 0
+		asB, envB := runFixture(t, true)
+		asE, envE := runFixture(t, false)
+		envB.Cache.SetExclusive(exclusive)
+		envE.Cache.SetExclusive(exclusive)
+		var ops []runOp
+		for i := 0; i < 50; i++ {
+			r := Run{VA: MmapBase + uint64(rng.Intn(span/2))&^7}
+			if rng.Intn(2) == 1 {
+				r.Stride = 8 * (1 + rng.Intn(32))
+			}
+			step := r.Stride
+			if step == 0 {
+				step = 8
+			}
+			if max := (span - int(r.VA-MmapBase)) / step; max > 0 {
+				r.Words = rng.Intn(max + 1)
+			}
+			switch rng.Intn(4) {
+			case 0:
+				r.Hot = true
+			case 1:
+				r.Cold = true
+			}
+			r.Write = rng.Intn(2) == 0
+			// ReadRun/WriteRun are dense-only; data ops keep stride 0.
+			ops = append(ops, runOp{run: r, data: r.Stride == 0 && rng.Intn(3) == 0})
+		}
+		obsB := applyOps(t, asB, envB, ops)
+		obsE := applyOps(t, asE, envE, ops)
+		if got, want := envB.Clock.Now(), envE.Clock.Now(); got != want {
+			t.Errorf("seed=%d trial %d (exclusive=%v): clock diverges: batched %v, exact %v",
+				seed, trial, exclusive, got, want)
+		}
+		for i := range obsB {
+			if obsB[i] != obsE[i] {
+				t.Fatalf("seed=%d trial %d: data diverges at word %d", seed, trial, i)
+			}
+		}
+		pB, pE := *envB.Perf, *envE.Perf
+		normalizePathCounters(&pB)
+		normalizePathCounters(&pE)
+		if pB != pE {
+			t.Errorf("seed=%d trial %d (exclusive=%v): perf diverges:\nbatched: %+v\nexact:   %+v",
+				seed, trial, exclusive, pB, pE)
+		}
+		for i := 0; i < 256; i++ {
+			va := MmapBase + uint64(i*232)&^7
+			paB, err := asB.Translate(envB, va)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paE, err := asE.Translate(envE, va)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hb, he := envB.Cache.Access(paB), envE.Cache.Access(paE); hb != he {
+				t.Fatalf("seed=%d trial %d: cache state diverges at probe %d (va %#x)",
+					seed, trial, i, va)
+			}
+		}
+	}
+}
+
 // TestRunSplitPointsProperty: settling one long run in arbitrary
 // contiguous pieces — including splits in the middle of a page — must be
 // bit-identical to settling it whole, on both paths. Only the run count
@@ -323,6 +457,39 @@ func TestRunValidation(t *testing.T) {
 	if err := as.WriteRun(env, MmapBase+4, make([]uint64, 1)); err == nil {
 		t.Error("misaligned WriteRun accepted")
 	}
+}
+
+// BenchmarkChargeRun is the regression benchmark for the batched
+// settlement path — the single hottest entry in the simulator. CI runs
+// it (one iteration suffices under -race) so a change that silently
+// knocks runs back onto the per-word path shows up as a step change.
+func BenchmarkChargeRun(b *testing.B) {
+	bench := func(b *testing.B, r Run) {
+		as := NewAddressSpace(1, mem.NewPhysMem(0))
+		if err := as.Map(MmapBase, 16); err != nil {
+			b.Fatal(err)
+		}
+		env := NewEnv(sim.XeonGold6130())
+		env.Cache = cache.MustNew(1<<15, 8, 64)
+		env.Cache.SetExclusive(true)
+		env.Batch = true
+		b.SetBytes(int64(8 * r.Words))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := as.ChargeRun(env, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dense", func(b *testing.B) {
+		bench(b, Run{VA: MmapBase, Words: 4096, Write: true})
+	})
+	b.Run("strided", func(b *testing.B) {
+		bench(b, Run{VA: MmapBase, Stride: 64, Words: 512})
+	})
+	b.Run("hot", func(b *testing.B) {
+		bench(b, Run{VA: MmapBase, Stride: 64, Words: 512, Hot: true})
+	})
 }
 
 // TestLookupCountedRetriesUntilStable pins the seqlock read loop: a

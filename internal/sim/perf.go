@@ -28,6 +28,8 @@ type Perf struct {
 	ChargeRuns   uint64 // runs declared via ChargeRun/ReadRun/WriteRun
 	RunWords     uint64 // words covered by declared runs
 	RunFallbacks uint64 // runs settled via the exact per-word path
+	StreamRuns   uint64 // bulk streams declared via ReadWords/WriteWords/ChargeStream
+	StreamBytes  uint64 // bytes covered by declared streams
 
 	// TLB coherence.
 	TLBFlushLocal uint64 // whole-ASID local flushes
@@ -85,6 +87,8 @@ func (p *Perf) Add(other *Perf) {
 	p.ChargeRuns += other.ChargeRuns
 	p.RunWords += other.RunWords
 	p.RunFallbacks += other.RunFallbacks
+	p.StreamRuns += other.StreamRuns
+	p.StreamBytes += other.StreamBytes
 	p.TLBFlushLocal += other.TLBFlushLocal
 	p.TLBFlushPage += other.TLBFlushPage
 	p.IPIsSent += other.IPIsSent

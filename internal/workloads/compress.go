@@ -40,6 +40,8 @@ func Compress() *Spec {
 func compressThread(t *jvm.Thread, rng *rand.Rand, inBytes, iters int) error {
 	inSpec := heap.AllocSpec{Payload: inBytes, Class: clsCompressIn}
 	data := make([]byte, inBytes)
+	src := make([]byte, inBytes)
+	var encBuf, encBack, decBuf []byte
 	for it := 0; it < iters; it++ {
 		inR, err := t.AllocRooted(inSpec)
 		if err != nil {
@@ -58,11 +60,11 @@ func compressThread(t *jvm.Thread, rng *rand.Rand, inBytes, iters int) error {
 		}
 
 		// Compress: read back through the heap, encode, store output.
-		src := make([]byte, inBytes)
 		if err := t.J.Heap.ReadPayload(t.Ctx, inR.Obj, 0, 0, src); err != nil {
 			return err
 		}
-		enc := rleEncode(src)
+		enc := rleEncode(encBuf[:0], src)
+		encBuf = enc
 		chargeOps(t, float64(inBytes), 1.5)
 		outR, err := t.AllocRooted(heap.AllocSpec{Payload: len(enc), Class: clsCompressOut})
 		if err != nil {
@@ -73,14 +75,18 @@ func compressThread(t *jvm.Thread, rng *rand.Rand, inBytes, iters int) error {
 		}
 
 		// Decompress from the heap copy and verify the round trip.
-		encBack := make([]byte, len(enc))
+		if cap(encBack) < len(enc) {
+			encBack = make([]byte, len(enc))
+		}
+		encBack = encBack[:len(enc)]
 		if err := t.J.Heap.ReadPayload(t.Ctx, outR.Obj, 0, 0, encBack); err != nil {
 			return err
 		}
-		dec, err := rleDecode(encBack, inBytes)
+		dec, err := rleDecode(decBuf[:0], encBack, inBytes)
 		if err != nil {
 			return err
 		}
+		decBuf = dec
 		chargeOps(t, float64(inBytes), 1.0)
 		for i := range dec {
 			if dec[i] != src[i] {
@@ -96,9 +102,9 @@ func compressThread(t *jvm.Thread, rng *rand.Rand, inBytes, iters int) error {
 	return nil
 }
 
-// rleEncode is a (value, runLength) byte coder with 255-run caps.
-func rleEncode(src []byte) []byte {
-	out := make([]byte, 0, len(src)/4)
+// rleEncode is a (value, runLength) byte coder with 255-run caps,
+// appending to out (callers pass a reusable buffer resliced to zero).
+func rleEncode(out, src []byte) []byte {
 	for i := 0; i < len(src); {
 		v := src[i]
 		run := 1
@@ -111,11 +117,10 @@ func rleEncode(src []byte) []byte {
 	return out
 }
 
-func rleDecode(enc []byte, want int) ([]byte, error) {
+func rleDecode(out, enc []byte, want int) ([]byte, error) {
 	if len(enc)%2 != 0 {
 		return nil, fmt.Errorf("compress: truncated stream")
 	}
-	out := make([]byte, 0, want)
 	for i := 0; i < len(enc); i += 2 {
 		v, run := enc[i], int(enc[i+1])
 		for k := 0; k < run; k++ {

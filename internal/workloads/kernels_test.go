@@ -86,8 +86,8 @@ func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
 
 func TestRLERoundTripQuick(t *testing.T) {
 	prop := func(data []byte) bool {
-		enc := rleEncode(data)
-		dec, err := rleDecode(enc, len(data))
+		enc := rleEncode(nil, data)
+		dec, err := rleDecode(nil, enc, len(data))
 		if err != nil {
 			return false
 		}
@@ -108,14 +108,14 @@ func TestRLERoundTripQuick(t *testing.T) {
 
 func TestRLECompressesRuns(t *testing.T) {
 	run := make([]byte, 4096)
-	enc := rleEncode(run)
+	enc := rleEncode(nil, run)
 	if len(enc) >= len(run)/8 {
 		t.Errorf("4K of zeros encoded to %d bytes", len(enc))
 	}
-	if _, err := rleDecode([]byte{1}, 1); err == nil {
+	if _, err := rleDecode(nil, []byte{1}, 1); err == nil {
 		t.Error("odd-length stream accepted")
 	}
-	if _, err := rleDecode([]byte{1, 2}, 5); err == nil {
+	if _, err := rleDecode(nil, []byte{1, 2}, 5); err == nil {
 		t.Error("length mismatch accepted")
 	}
 }

@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -91,10 +90,11 @@ func parallelsortThread(t *jvm.Thread, rng *rand.Rand, segments, segInts int, ke
 	// Phase 3: pairwise merges until one sorted array remains.
 	level := segs
 	width := segInts
+	var bufs mergeBufs
 	for len(level) > 1 {
 		var nextLevel []*gc.Root
 		for i := 0; i+1 < len(level); i += 2 {
-			merged, err := mergePair(t, level[i], level[i+1], width)
+			merged, err := mergePair(t, level[i], level[i+1], width, &bufs)
 			if err != nil {
 				return err
 			}
@@ -125,16 +125,29 @@ func parallelsortThread(t *jvm.Thread, rng *rand.Rand, segments, segInts int, ke
 	return nil
 }
 
-func mergePair(t *jvm.Thread, a, b *gc.Root, width int) (*gc.Root, error) {
-	av := make([]uint64, width)
-	bv := make([]uint64, width)
+// mergeBufs is per-thread merge scratch, reused across pairwise merges so
+// each merge level reallocates at most once instead of once per pair.
+type mergeBufs struct{ av, bv, out []uint64 }
+
+func (b *mergeBufs) size(width int) (av, bv, out []uint64) {
+	if cap(b.av) < width {
+		b.av = make([]uint64, width)
+		b.bv = make([]uint64, width)
+	}
+	if cap(b.out) < 2*width {
+		b.out = make([]uint64, 0, 2*width)
+	}
+	return b.av[:width], b.bv[:width], b.out[:0]
+}
+
+func mergePair(t *jvm.Thread, a, b *gc.Root, width int, bufs *mergeBufs) (*gc.Root, error) {
+	av, bv, out := bufs.size(width)
 	if err := readWords(t, a.Obj, av); err != nil {
 		return nil, err
 	}
 	if err := readWords(t, b.Obj, bv); err != nil {
 		return nil, err
 	}
-	out := make([]uint64, 0, 2*width)
 	i, j := 0, 0
 	for i < width && j < width {
 		if av[i] <= bv[j] {
@@ -160,20 +173,9 @@ func mergePair(t *jvm.Thread, a, b *gc.Root, width int) (*gc.Root, error) {
 }
 
 func readWords(t *jvm.Thread, o heap.Object, dst []uint64) error {
-	buf := make([]byte, 8*len(dst))
-	if err := t.J.Heap.ReadPayload(t.Ctx, o, 0, 0, buf); err != nil {
-		return err
-	}
-	for i := range dst {
-		dst[i] = binary.LittleEndian.Uint64(buf[8*i:])
-	}
-	return nil
+	return t.J.Heap.ReadPayloadStream(t.Ctx, o, 0, 0, dst)
 }
 
 func writeWords(t *jvm.Thread, o heap.Object, src []uint64) error {
-	buf := make([]byte, 8*len(src))
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(buf[8*i:], v)
-	}
-	return t.J.Heap.WritePayload(t.Ctx, o, 0, 0, buf)
+	return t.J.Heap.WritePayloadStream(t.Ctx, o, 0, 0, src)
 }

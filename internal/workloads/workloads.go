@@ -14,10 +14,9 @@
 package workloads
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"math/rand"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/gc"
@@ -127,31 +126,31 @@ func chargeOps(t *jvm.Thread, n float64, cyclesPerOp float64) {
 	t.Ctx.Clock.Advance(t.Ctx.Cost.CyclesNs(n * cyclesPerOp))
 }
 
+// floatWords reinterprets a float slice as its IEEE-754 bit patterns
+// without copying. A uint64 store through the alias followed by a float64
+// read is exactly math.Float64frombits, on any host, so the stream
+// accessors below are bit-identical to the old decode/encode loops.
+func floatWords(fs []float64) []uint64 {
+	if len(fs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&fs[0])), len(fs))
+}
+
 // readFloats fills dst from the object's payload (charged bulk read).
 func readFloats(t *jvm.Thread, o heap.Object, numRefs, off int, dst []float64) error {
-	buf := make([]byte, 8*len(dst))
-	if err := t.J.Heap.ReadPayload(t.Ctx, o, numRefs, off, buf); err != nil {
-		return err
-	}
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-	}
-	return nil
+	return t.J.Heap.ReadPayloadStream(t.Ctx, o, numRefs, off, floatWords(dst))
 }
 
 // writeFloats stores src into the object's payload (charged bulk write).
 func writeFloats(t *jvm.Thread, o heap.Object, numRefs, off int, src []float64) error {
-	buf := make([]byte, 8*len(src))
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
-	}
-	return t.J.Heap.WritePayload(t.Ctx, o, numRefs, off, buf)
+	return t.J.Heap.WritePayloadStream(t.Ctx, o, numRefs, off, floatWords(src))
 }
 
 // checksum folds a payload into a 64-bit FNV-1a digest (charged bulk
 // read), used by Compress/Sigverify-style kernels.
 func checksum(t *jvm.Thread, o heap.Object, numRefs, n int) (uint64, error) {
-	buf := make([]byte, n)
+	buf := t.Scratch(n)
 	if err := t.J.Heap.ReadPayload(t.Ctx, o, numRefs, 0, buf); err != nil {
 		return 0, err
 	}
@@ -169,7 +168,7 @@ func checksum(t *jvm.Thread, o heap.Object, numRefs, n int) (uint64, error) {
 
 // fillPayload writes a deterministic pattern into a payload (charged).
 func fillPayload(t *jvm.Thread, o heap.Object, numRefs, n int, seed uint64) error {
-	buf := make([]byte, n)
+	buf := t.Scratch(n)
 	s := seed
 	for i := range buf {
 		s = s*6364136223846793005 + 1442695040888963407
