@@ -30,12 +30,15 @@ import (
 	"repro/internal/heap"
 	"repro/internal/jvm"
 	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/soak"
 	"repro/internal/swaptier"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workloads"
+	"repro/internal/workloads/smr"
 )
 
 func main() {
@@ -69,6 +72,10 @@ func main() {
 		zpool     = flag.Int64("zpool", 0, "compressed-RAM zpool budget in MiB in front of the far tier")
 		farLat    = flag.Int64("far-lat", 0, "far-device access latency in ns (0 = default 10000)")
 		physMiB   = flag.Int64("phys", 0, "bound the simulated machine's physical RAM in MiB (0 = unbounded; required with the swap-tier knobs in workload mode — the soak loop sizes its own pool)")
+		tenants   = flag.Int("tenants", 0, "tenant count: replicas for -smr, concurrent capped tenants for -soak (0 = single-tenant)")
+		tenantCap = flag.Int64("tenant-cap", 0, "per-tenant memory cap in MiB; in workload mode the JVM runs as a capped tenant with its own pressure ladder (0 = uncapped)")
+		gcArb     = flag.Int("gc-arbiter", 0, "arm the machine-wide GC arbiter with this concurrent-collection bound (0 = unarbitrated)")
+		smrHeap   = flag.Int64("smr", 0, "run the raft-style SMR cluster workload with this replica heap size in MiB instead of a -bench workload (uses -gc, -gcworkers, -seed, -tenants, -tenant-cap, -gc-arbiter)")
 	)
 	flag.Parse()
 
@@ -89,19 +96,29 @@ func main() {
 	}
 	if *soakDur > 0 {
 		res, err := soak.Run(soak.Config{
-			Collector: *collector,
-			GCWorkers: *workers,
-			Duration:  *soakDur,
-			Watchdog:  sim.Time(watchdogD.Nanoseconds()),
-			Seed:      *seed,
-			Swap:      swapCfg,
-			Log:       os.Stderr,
+			Collector:       *collector,
+			GCWorkers:       *workers,
+			Duration:        *soakDur,
+			Watchdog:        sim.Time(watchdogD.Nanoseconds()),
+			Seed:            *seed,
+			Swap:            swapCfg,
+			Tenants:         *tenants,
+			TenantCapFrames: int(*tenantCap << 20 >> mem.PageShift),
+			Log:             os.Stderr,
 		})
 		if res != nil {
 			fmt.Println("soak:", res)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "svagc: soak:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *smrHeap > 0 {
+		if err := runSMR(*mach, *collector, *smrHeap<<20, *tenants, *workers,
+			*seed, *tenantCap, *gcArb, *faultPln, *faultRt, *faultSd, *traceOut, *traceBuf); err != nil {
+			fmt.Fprintln(os.Stderr, "svagc: smr:", err)
 			os.Exit(1)
 		}
 		return
@@ -184,6 +201,11 @@ func main() {
 		fmt.Fprintf(w, "  moving             %d pages swapped in %d SwapVA calls; %d bytes memmoved\n",
 			p.PagesSwapped, p.SwapVACalls, p.BytesCopied)
 		fmt.Fprintf(w, "  perf               %s\n", p.String())
+		if tn := j.Tenant(); tn != nil {
+			u := tn.Usage()
+			fmt.Fprintf(w, "  tenant             %s: %d/%d pages charged (peak %d), pressure %s\n",
+				u.Name, u.Charged, u.CapFrames, u.Peak, u.Pressure)
+		}
 		if m.FaultInjector().Active() {
 			fmt.Fprintf(w, "  faults             %d injected; %d swap retries, %d copy fallbacks, %d rollbacks, %d IPI re-sends (every GC verified)\n",
 				p.FaultsInjected, p.SwapRetries, p.SwapFallbacks, p.SwapRollbacks, p.IPIResends)
@@ -211,6 +233,7 @@ func main() {
 			{"-trace", *traceOut != ""}, {"-metrics", *metrics != ""},
 			{"-trace-spill", *spillOut != ""}, {"-histo", *histo},
 			{"-gclog", *gclog}, {"-pauses", *pauses},
+			{"-tenant-cap", *tenantCap > 0}, {"-gc-arbiter", *gcArb > 0},
 		} {
 			if f.set {
 				fmt.Fprintf(os.Stderr, "svagc: %s needs a single -bench workload, not a list\n", f.name)
@@ -263,6 +286,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svagc:", err)
 		os.Exit(2)
+	}
+	if *tenantCap > 0 {
+		t, err := m.NewTenant("tenant0", int(*tenantCap<<20>>mem.PageShift))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svagc:", err)
+			os.Exit(2)
+		}
+		cfg.Tenant = t
+	}
+	if *gcArb > 0 {
+		cfg.Arbiter = sched.New(sched.Config{MaxConcurrent: *gcArb, Injector: m.FaultInjector()})
 	}
 	j, err := jvm.New(m, cfg)
 	if err != nil {
@@ -324,6 +358,79 @@ func main() {
 		}
 		fmt.Printf("  trace-spill        %d events streamed to %s\n", tr.Spilled(), *spillOut)
 	}
+}
+
+// runSMR runs the raft-style SMR cluster workload: -tenants replicas
+// (default 3), each a capped tenant JVM, collections arbitrated when
+// -gc-arbiter is set, leader churn driven by GC pauses.
+func runSMR(mach, collector string, heapBytes int64, replicas, workers int,
+	seed, tenantCapMiB int64, maxConcurrentGC int,
+	faultPln string, faultRt float64, faultSd int64, traceOut string, traceBuf int) error {
+
+	cost, err := sim.ModelByName(mach)
+	if err != nil {
+		return err
+	}
+	faultPlan, err := fault.ParsePlanWithRate(faultPln, faultRt)
+	if err != nil {
+		return err
+	}
+	if faultSd == 0 {
+		faultSd = seed
+	}
+	m, err := machine.New(machine.Config{
+		Cost:         cost,
+		SingleDriver: true,
+		Fault:        fault.New(faultSd, faultPlan),
+	})
+	if err != nil {
+		return err
+	}
+	var tr *trace.Tracer
+	if traceOut != "" {
+		tr = m.EnableTracing(traceBuf)
+	}
+	capFrames := int(tenantCapMiB << 20 >> mem.PageShift)
+	if capFrames <= 0 {
+		// Default cap: heap plus a copying collector's to-space plus slack.
+		capFrames = 2*int(heapBytes>>mem.PageShift) + 64
+	}
+	res, err := smr.Run(m, smr.Config{
+		Collector:       collector,
+		Replicas:        replicas,
+		HeapBytes:       heapBytes,
+		GCWorkers:       workers,
+		Seed:            seed,
+		CapFrames:       capFrames,
+		MaxConcurrentGC: maxConcurrentGC,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smr cluster: %d replicas under %s on %s (%.1f MiB heap each, cap %d frames)\n",
+		res.Replicas, collector, cost.Name, float64(heapBytes)/(1<<20), capFrames)
+	fmt.Printf("  rounds/commits     %d / %d\n", res.Rounds, res.Commits)
+	fmt.Printf("  leader churn       %d failovers, %d evictions, %d entries replayed\n",
+		res.Failovers, res.Evictions, res.ReplayEntries)
+	fmt.Printf("  commit latency     p50 %v, p99 %v, p99.9 %v, max %v\n",
+		res.P50, res.P99, res.P999, res.Max)
+	fmt.Printf("  max GC pause       %v\n", res.MaxPause)
+	if maxConcurrentGC > 0 {
+		a := res.Arbiter
+		fmt.Printf("  arbiter            %d grants, %d waits (%v total, %v max), %d deferrals, %d aging breaks\n",
+			a.Grants, a.Waits, a.TotalWaitNs, a.MaxWaitNs, a.Deferrals, a.AgingBreaks)
+	}
+	fmt.Printf("  commit hash        %#016x\n", res.CommitHash)
+	for _, u := range m.MemReport().Tenants {
+		fmt.Printf("  tenant %-10s %d/%d pages charged (peak %d), pressure %s\n",
+			u.Name, u.Charged, u.CapFrames, u.Peak, u.Pressure)
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, tr.WriteChromeJSON); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // runMany fans the listed workloads out over a bounded host worker pool.

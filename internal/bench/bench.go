@@ -230,6 +230,7 @@ func Registry() []*Experiment {
 		{ID: "numa1", Title: "Extension: SwapVA shootdown scaling, 1 vs 2 sockets", Run: NUMA1ShootdownScaling},
 		{ID: "oom1", Title: "Extension: full GC under memory pressure (SwapVA vs byte-copy)", Run: OOM1MemoryPressure},
 		{ID: "oversub1", Title: "Extension: far-memory oversubscription (swap tier + kswapd reclaim)", Run: OversubFarMemory},
+		{ID: "smr1", Title: "Extension: SMR leader churn under GC pauses (capped tenants + GC arbiter)", Run: SMRLeaderChurn},
 	}
 }
 

@@ -13,7 +13,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"fig1", "fig2", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"table1", "table2", "table3", "ext1", "ext2", "ext3",
-		"numa1", "oom1", "oversub1",
+		"numa1", "oom1", "oversub1", "smr1",
 	}
 	got := IDs()
 	if len(got) != len(want) {

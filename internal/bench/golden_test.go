@@ -20,7 +20,11 @@ var update = flag.Bool("update", false, "rewrite the golden figure outputs")
 // oversub1 rides along: its quick sweep (1.5x and 4x oversubscription,
 // three collectors) pins the whole swap plane — tier costs, reclaimer
 // victim order, fault-in charges — to the byte.
-var goldenIDs = []string{"fig6", "fig8", "fig9", "fig10", "numa1", "oversub1"}
+// smr1 likewise pins the multi-tenant plane: per-tenant cap charging,
+// arbiter admission order, and the SMR failure detector are all
+// deterministic, so its quick sweep (32 and 64 MiB replicas, three
+// collectors) freezes leader-churn counts and commit-latency tails.
+var goldenIDs = []string{"fig6", "fig8", "fig9", "fig10", "numa1", "oversub1", "smr1"}
 
 func TestGoldenQuickFigures(t *testing.T) {
 	for _, id := range goldenIDs {

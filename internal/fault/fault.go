@@ -25,6 +25,12 @@
 //   - far_write: a write to the far (NVMe) swap tier fails transiently;
 //     the reclaimer skips the page and a SwapVA touching a swapped PTE
 //     aborts with EAGAIN and rolls back.
+//   - arbiter_stall: a GC-arbiter admission decision stalls for
+//     ArbiterStallNs, pushing the requesting tenant's collection start
+//     back as if the arbiter's bookkeeping were contended.
+//   - cap_race: a tenant cap check reads a stale charge counter; the
+//     allocation ladder re-reads and retries, charging a small fixed
+//     re-check cost.
 //
 // Determinism contract: per-site sequence numbers are atomics, so the
 // decision *stream* per site is fixed by the seed, and any execution that
@@ -105,6 +111,10 @@ var siteAliases = map[string]Site{
 	"interconnect":   trace.FaultInterconnect,
 	"far_write":      trace.FaultFarWrite,
 	"far-write":      trace.FaultFarWrite,
+	"arbiter_stall":  trace.FaultArbiterStall,
+	"arbiter-stall":  trace.FaultArbiterStall,
+	"cap_race":       trace.FaultCapRace,
+	"cap-race":       trace.FaultCapRace,
 }
 
 // ParsePlan parses a comma-separated "site:rate" list, e.g.
@@ -153,7 +163,7 @@ func ParsePlanWithRate(spec string, rate float64) (Plan, error) {
 		}
 		s, ok := siteAliases[name]
 		if !ok {
-			return p, fmt.Errorf("fault: unknown site %q (want pte-lock, ipi-ack, swapva, poison, interconnect, far-write, or all)", name)
+			return p, fmt.Errorf("fault: unknown site %q (want pte-lock, ipi-ack, swapva, poison, interconnect, far-write, arbiter-stall, cap-race, or all)", name)
 		}
 		p.Rate[s] = r
 	}
@@ -178,6 +188,10 @@ type Tunables struct {
 	// BrownoutFactor multiplies cross-socket latency (and divides link
 	// bandwidth) for a browned-out access. Default 8.
 	BrownoutFactor float64
+	// ArbiterStallNs is the admission-decision delay charged when an
+	// arbiter stall fires. Default 25 µs — comparable to a small GC phase,
+	// so stalls visibly shift collection starts without dominating pauses.
+	ArbiterStallNs sim.Time
 }
 
 // DefaultTunables returns the documented default fault shapes.
@@ -187,6 +201,7 @@ func DefaultTunables() Tunables {
 		AckTimeoutNs:   10_000,
 		MaxIPIResends:  3,
 		BrownoutFactor: 8,
+		ArbiterStallNs: 25_000,
 	}
 }
 
@@ -203,6 +218,9 @@ func (t Tunables) withDefaults() Tunables {
 	}
 	if t.BrownoutFactor <= 1 {
 		t.BrownoutFactor = d.BrownoutFactor
+	}
+	if t.ArbiterStallNs <= 0 {
+		t.ArbiterStallNs = d.ArbiterStallNs
 	}
 	return t
 }
@@ -285,6 +303,9 @@ func (i *Injector) MaxIPIResends() int { return i.tun.MaxIPIResends }
 
 // BrownoutFactor returns the interconnect degradation multiplier.
 func (i *Injector) BrownoutFactor() float64 { return i.tun.BrownoutFactor }
+
+// ArbiterStallNs returns the injected arbiter admission delay.
+func (i *Injector) ArbiterStallNs() sim.Time { return i.tun.ArbiterStallNs }
 
 // Plan returns the armed plan (zero Plan for a nil injector).
 func (i *Injector) Plan() Plan {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -42,6 +43,17 @@ type Config struct {
 	TLABBytes int
 	// BaseCore places the JVM's threads starting at this core.
 	BaseCore int
+	// Tenant, when non-nil, charges the JVM's mappings against a
+	// per-tenant cap (machine.NewTenant) and arms the tenant-local
+	// pressure ladder: over-cap episodes throttle this JVM only. Nil — the
+	// default — is the uncapped single-tenant machine, bit-identical to a
+	// build without the plane.
+	Tenant *mem.Tenant
+	// Arbiter, when non-nil, is the machine-wide GC admission controller:
+	// every collection asks it for a start slot first, so concurrent
+	// tenants' collections are bounded and latency-sensitive tenants can
+	// defer noisy neighbours. Nil is the unarbitrated default.
+	Arbiter *sched.Arbiter
 }
 
 // JVM is one managed-runtime instance on a machine.
@@ -57,11 +69,22 @@ type JVM struct {
 	threads []*Thread
 	oomMax  int
 
+	// Multi-tenant plane (both nil on a zero-config machine).
+	tenant  *mem.Tenant
+	arbiter *sched.Arbiter
+	name    string   // arbiter identity: tenant name, or "jvm-<asid>"
+	expect  sim.Time // last pause total, the arbiter reservation estimate
+
 	// pressureArmed gates the low-watermark emergency collection: one per
 	// pressure episode, re-armed when free frames recover above the high
 	// watermark (see Thread.checkPressure). True from birth so the first
 	// episode always triggers.
 	pressureArmed bool
+
+	// tenantArmed is the same hysteresis gate for the tenant-local ladder:
+	// one emergency collection per over-cap episode, re-armed when the
+	// tenant's budget recovers above its high watermark.
+	tenantArmed bool
 
 	// sweepTime accumulates the post-GC swap sweep (tail discard + drain)
 	// run on the GC context after each collection when the swap plane is
@@ -104,7 +127,7 @@ func New(m *machine.Machine, cfg Config) (*JVM, error) {
 		threads = 1
 	}
 	k := kernel.New(m)
-	as := m.NewAddressSpace()
+	as := m.NewAddressSpaceFor(cfg.Tenant)
 	// Under first-touch, the heap's pages belong to the socket of the JVM's
 	// base core: the address space is built before any thread context runs,
 	// so home it explicitly rather than defaulting to node 0.
@@ -120,16 +143,23 @@ func New(m *machine.Machine, cfg Config) (*JVM, error) {
 	}
 	roots := &gc.RootSet{}
 	j := &JVM{
-		M:      m,
-		K:      k,
-		AS:     as,
-		Heap:   h,
-		Roots:  roots,
-		GC:     cfg.NewCollector(h, roots),
-		gcCtx:  m.NewContext(cfg.BaseCore % m.NumCores()),
-		oomMax: 4, // minor + escalation + full may all be needed before OOM
+		M:       m,
+		K:       k,
+		AS:      as,
+		Heap:    h,
+		Roots:   roots,
+		GC:      cfg.NewCollector(h, roots),
+		gcCtx:   m.NewContext(cfg.BaseCore % m.NumCores()),
+		oomMax:  4, // minor + escalation + full may all be needed before OOM
+		tenant:  cfg.Tenant,
+		arbiter: cfg.Arbiter,
+		name:    cfg.Tenant.Name(),
 
 		pressureArmed: true,
+		tenantArmed:   true,
+	}
+	if j.name == "" {
+		j.name = fmt.Sprintf("jvm-%d", as.ASID)
 	}
 	j.threads = make([]*Thread, threads)
 	for i := range j.threads {
@@ -152,6 +182,13 @@ func New(m *machine.Machine, cfg Config) (*JVM, error) {
 // Threads returns the mutator thread count.
 func (j *JVM) Threads() int { return len(j.threads) }
 
+// Name returns the JVM's arbiter/tenant identity: the tenant's name, or
+// "jvm-<asid>" on an untenanted instance.
+func (j *JVM) Name() string { return j.name }
+
+// Tenant returns the JVM's memory controller, nil when uncapped.
+func (j *JVM) Tenant() *mem.Tenant { return j.tenant }
+
 // Thread returns mutator thread i.
 func (j *JVM) Thread(i int) *Thread { return j.threads[i] }
 
@@ -161,9 +198,34 @@ func (j *JVM) CollectNow() (*gc.PauseInfo, error) {
 }
 
 // runGC runs one collection on the GC context and records the pause as a
-// single trace event bracketing the collector's phase events.
+// single trace event bracketing the collector's phase events. With an
+// arbiter armed, admission comes first: the GC context waits out any
+// deferral (advancing its clock to the granted start) before collecting,
+// and releases its reservation with the actual end afterwards.
 func (j *JVM) runGC(cause gc.Cause) (*gc.PauseInfo, error) {
+	if j.arbiter != nil {
+		now := j.gcCtx.Clock.Now()
+		g := j.arbiter.Admit(j.name, now, j.expect)
+		if g.Stalled {
+			j.gcCtx.Perf.FaultsInjected++
+			j.gcCtx.Trace.Emit(trace.KindFault, "fault:arbiter-stall", now,
+				g.Waited, uint64(trace.FaultArbiterStall), 0)
+		}
+		if g.Waited > 0 {
+			j.gcCtx.Perf.ArbiterWaits++
+			j.gcCtx.Perf.ArbiterWaitNs += uint64(g.Waited)
+			j.gcCtx.Clock.AdvanceTo(g.Start)
+			j.gcCtx.Trace.Emit(trace.KindApp, "arbiter-wait", now, g.Waited,
+				uint64(cause), 0)
+		}
+	}
 	pause, err := j.GC.Collect(j.gcCtx, cause)
+	if j.arbiter != nil {
+		if err == nil {
+			j.expect = pause.Total
+		}
+		j.arbiter.Release(j.name, j.gcCtx.Clock.Now())
+	}
 	if err == nil && j.gcCtx.Trace != nil {
 		j.gcCtx.Trace.Emit(trace.KindSpan, "gc-pause", pause.At, pause.Total,
 			pause.LiveBytes, uint64(pause.SwappedPages))
@@ -204,14 +266,24 @@ func (j *JVM) postGCSweep() {
 
 // Alloc allocates on behalf of the thread, collecting and retrying on
 // heap exhaustion. It returns an OutOfMemory error when collections
-// cannot free enough space.
+// cannot free enough space. An allocation whose retries triggered at
+// least one collection is recorded as an "alloc-episode" app span, so
+// Chrome timelines show the cause→pause chain end to end.
 func (t *Thread) Alloc(spec heap.AllocSpec) (heap.Object, error) {
 	if err := t.checkPressure(); err != nil {
 		return 0, err
 	}
+	var start sim.Time
+	if t.Ctx.Trace != nil {
+		start = t.Ctx.Clock.Now()
+	}
 	for attempt := 0; ; attempt++ {
 		o, err := t.J.Heap.Alloc(t.Ctx, &t.TLAB, spec)
 		if err == nil {
+			if attempt > 0 && t.Ctx.Trace != nil {
+				t.Ctx.Trace.Emit(trace.KindApp, "alloc-episode", start,
+					t.Ctx.Clock.Now()-start, uint64(attempt), uint64(spec.TotalBytes()))
+			}
 			return o, nil
 		}
 		if err != heap.ErrHeapFull || attempt >= t.J.oomMax {

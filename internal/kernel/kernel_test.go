@@ -318,12 +318,21 @@ func TestSwapVAVecAccountsLikeSwapVA(t *testing.T) {
 		t.Errorf("rejected request cost differs: %v vs %v", c1.Clock.Now(), c2.Clock.Now())
 	}
 
-	// Valid single request: identical counters and identical cost.
-	c3, c4 := f.m.NewContext(0), f.m.NewContext(0)
-	if err := f.k.SwapVA(c3, f.as, a, b, 2, DefaultOptions()); err != nil {
+	// Valid single request: identical counters and identical cost. The
+	// PTE-lock busy-until marks persist on the page tables, so a second
+	// run against the same machine from virtual time zero would observe
+	// the first run's critical sections as queueing delay — each entry
+	// point gets its own fresh machine.
+	f3, f4 := newFixture(t), newFixture(t)
+	a3, _ := f3.as.MapRegion(2)
+	b3, _ := f3.as.MapRegion(2)
+	a4, _ := f4.as.MapRegion(2)
+	b4, _ := f4.as.MapRegion(2)
+	c3, c4 := f3.m.NewContext(0), f4.m.NewContext(0)
+	if err := f3.k.SwapVA(c3, f3.as, a3, b3, 2, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.k.SwapVAVec(c4, f.as, []SwapReq{{VA1: a, VA2: b, Pages: 2}}, DefaultOptions()); err != nil {
+	if _, err := f4.k.SwapVAVec(c4, f4.as, []SwapReq{{VA1: a4, VA2: b4, Pages: 2}}, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if *c3.Perf != *c4.Perf {

@@ -76,12 +76,14 @@ func (k *Kernel) loadFrame(ctx *machine.Context, as *mmu.AddressSpace,
 	}
 	stallPTELock(ctx, va)
 	ctx.Clock.Advance(ctx.Cost.PTELockNs)
+	recordLockWait(ctx, pt, nil)
 	pt.Lock()
 	defer pt.Unlock()
 	e := pt.Entry(i)
 	if !e.Present {
 		return mem.NilFrame, notMapped(va)
 	}
+	markLockBusy(ctx, pt, nil)
 	return e.Frame, nil
 }
 
@@ -101,6 +103,7 @@ func (k *Kernel) exchangeFrame(ctx *machine.Context, as *mmu.AddressSpace,
 	}
 	stallPTELock(ctx, va)
 	ctx.Clock.Advance(ctx.Cost.PTELockNs)
+	recordLockWait(ctx, pt, nil)
 	pt.Lock()
 	e := pt.Entry(i)
 	if !e.Present {
@@ -119,6 +122,7 @@ func (k *Kernel) exchangeFrame(ctx *machine.Context, as *mmu.AddressSpace,
 		ctx.Clock.Advance(ctx.NUMAView.CrossNodeStoreNs(
 			uint64(frame)<<mem.PageShift, uint64(prev)<<mem.PageShift))
 	}
+	markLockBusy(ctx, pt, nil)
 	pt.Unlock()
 	if opts.PerPageFlush {
 		ctx.FlushPageLocal(as.ASID, mmu.VPN(va))

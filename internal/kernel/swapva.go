@@ -6,6 +6,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -235,6 +236,7 @@ func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 	stallPTELock(ctx, va1)
 	ctx.Clock.Advance(2 * ctx.Cost.PTELockNs)
 	lockStart := ctx.Clock.Now()
+	recordLockWait(ctx, pt1, pt2)
 	if pt1 == pt2 {
 		pt1.Lock()
 		defer pt1.Unlock()
@@ -281,11 +283,44 @@ func swapPTEs(ctx *machine.Context, pt1 *mmu.PTETable, idx1 int,
 		ctx.Clock.Advance(ctx.NUMAView.CrossNodeSwapNs(
 			uint64(e1.Frame)<<mem.PageShift, uint64(e2.Frame)<<mem.PageShift))
 	}
+	markLockBusy(ctx, pt1, pt2)
 	if ctx.Trace != nil {
 		ctx.Trace.Emit(trace.KindPTELock, "pte-lock", lockStart,
 			ctx.Clock.Now()-lockStart, pt1.ID(), pt2.ID())
 	}
 	return nil
+}
+
+// recordLockWait attributes PTE-lock queueing delay: if the most recent
+// critical section on either table (per its busy-until mark) extends past
+// the acquiring context's clock, the overhang is counted as time this
+// acquisition would have queued. Purely observational — the clock is never
+// advanced and no simulated outcome changes — which is what lets the
+// counters stay armed in every configuration, including the zero-config
+// golden runs. pt2 may be nil for single-table sites.
+func recordLockWait(ctx *machine.Context, pt1, pt2 *mmu.PTETable) {
+	until := pt1.BusyUntil()
+	if pt2 != nil {
+		if b := pt2.BusyUntil(); b > until {
+			until = b
+		}
+	}
+	if wait := until - int64(ctx.Clock.Now()); wait > 0 {
+		ctx.Perf.PTELockWaits++
+		ctx.Perf.PTELockWaitNs += uint64(wait)
+		ctx.Trace.ObserveLockWait(sim.Time(wait))
+	}
+}
+
+// markLockBusy records the end of a critical section on the tables so a
+// later acquirer whose clock lags behind can attribute its queueing delay.
+// pt2 may be nil for single-table sites.
+func markLockBusy(ctx *machine.Context, pt1, pt2 *mmu.PTETable) {
+	now := int64(ctx.Clock.Now())
+	pt1.MarkBusyUntil(now)
+	if pt2 != nil {
+		pt2.MarkBusyUntil(now)
+	}
 }
 
 // flush applies the trailing TLB-coherence step of the system call.

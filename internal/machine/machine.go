@@ -122,6 +122,12 @@ type Machine struct {
 	asMu   sync.Mutex
 	spaces []*mmu.AddressSpace
 
+	// tenantMu guards tenants, the registry of per-tenant memory
+	// controllers for MemReport attribution. Registration order is the
+	// report order, so single-driver runs render tenants deterministically.
+	tenantMu sync.Mutex
+	tenants  []*mem.Tenant
+
 	// Far-memory plane (nil/zero when Config.Swap is disabled).
 	swap      *swaptier.Tier
 	reclaimer *swaptier.Reclaimer
@@ -259,6 +265,13 @@ func (m *Machine) TotalStreams() int {
 // NewAddressSpace creates a process address space with a fresh ASID,
 // inheriting the machine's default page-placement policy.
 func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
+	return m.NewAddressSpaceFor(nil)
+}
+
+// NewAddressSpaceFor is NewAddressSpace with the mappings charged to a
+// tenant's cap (NewTenant). A nil tenant is the uncapped default,
+// bit-identical to NewAddressSpace.
+func (m *Machine) NewAddressSpaceFor(t *mem.Tenant) *mmu.AddressSpace {
 	as := mmu.NewAddressSpace(m.asidNext.Add(1), m.Phys)
 	as.SetPlacement(mmu.Placement{
 		Policy: m.numaPolicy,
@@ -268,10 +281,27 @@ func (m *Machine) NewAddressSpace() *mmu.AddressSpace {
 	if m.swap != nil {
 		as.SetSwapper(&machineSwapper{m: m})
 	}
+	if t != nil {
+		as.SetAccounter(t)
+	}
 	m.asMu.Lock()
 	m.spaces = append(m.spaces, as)
 	m.asMu.Unlock()
 	return as
+}
+
+// NewTenant creates and registers a per-tenant memory controller capped at
+// capFrames. Address spaces created through NewAddressSpaceFor charge
+// their mapped pages against it, and MemReport attributes usage to it.
+func (m *Machine) NewTenant(name string, capFrames int) (*mem.Tenant, error) {
+	t, err := mem.NewTenant(name, capFrames)
+	if err != nil {
+		return nil, err
+	}
+	m.tenantMu.Lock()
+	m.tenants = append(m.tenants, t)
+	m.tenantMu.Unlock()
+	return t, nil
 }
 
 // Shootdowns reports the number of TLB-shootdown broadcasts since boot.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/mem"
+	"repro/internal/mmu"
 	"repro/internal/swaptier"
 )
 
@@ -29,6 +30,10 @@ type MemReport struct {
 	// swap plane is disarmed.
 	Swap        swaptier.Stats
 	SwapEnabled bool
+	// Tenants holds per-tenant cap accounting in registration order; empty
+	// (and unprinted) on a machine without tenants, keeping zero-config
+	// reports byte-identical.
+	Tenants []mem.TenantUsage
 }
 
 // MemReport snapshots the machine's memory accounting.
@@ -38,13 +43,28 @@ func (m *Machine) MemReport() MemReport {
 		r.Swap = m.swap.Stats()
 		r.SwapEnabled = true
 	}
+	// Snapshot the registry first, then query each space unlocked:
+	// MappedPages takes the space's mapping lock, and holding asMu across
+	// that acquisition would order asMu before every mapMu — a lock-order
+	// hazard against concurrent NewAddressSpace callers that already hold
+	// their space's lock (and a needless stall of AS churn while a
+	// pressure report formats).
 	m.asMu.Lock()
-	for _, as := range m.spaces {
+	spaces := make([]*mmu.AddressSpace, len(m.spaces))
+	copy(spaces, m.spaces)
+	m.asMu.Unlock()
+	for _, as := range spaces {
 		if p := as.MappedPages(); p > 0 {
 			r.Top = append(r.Top, ASUsage{ASID: as.ASID, Pages: p})
 		}
 	}
-	m.asMu.Unlock()
+	m.tenantMu.Lock()
+	tenants := make([]*mem.Tenant, len(m.tenants))
+	copy(tenants, m.tenants)
+	m.tenantMu.Unlock()
+	for _, t := range tenants {
+		r.Tenants = append(r.Tenants, t.Usage())
+	}
 	sort.Slice(r.Top, func(i, j int) bool {
 		if r.Top[i].Pages != r.Top[j].Pages {
 			return r.Top[i].Pages > r.Top[j].Pages
@@ -84,6 +104,10 @@ func (r MemReport) String() string {
 	for i, t := range r.Top {
 		fmt.Fprintf(&b, "top[%d]: asid %d, %d pages (%d KiB)\n",
 			i, t.ASID, t.Pages, t.Pages<<(mem.PageShift-10))
+	}
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "tenant %s: %d/%d pages charged (peak %d), pressure %s\n",
+			t.Name, t.Charged, t.CapFrames, t.Peak, t.Pressure)
 	}
 	return b.String()
 }

@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestConcurrentMemReportDuringASChurn drives address-space churn (map,
+// unmap, new spaces) from several goroutines while another hammers
+// MemReport, the diagnostic a pressure failure formats on whatever
+// thread hit the watermark. Run with -race: the report must snapshot the
+// registry without ordering asMu under any space's mapping lock.
+func TestConcurrentMemReportDuringASChurn(t *testing.T) {
+	m := MustNew(Config{Cost: sim.XeonGold6130()})
+	var wg, repWg sync.WaitGroup
+	stop := make(chan struct{})
+	repWg.Add(1)
+	go func() {
+		defer repWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r := m.MemReport()
+				_ = r.String()
+			}
+		}
+	}()
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 40; rep++ {
+				as := m.NewAddressSpace()
+				va, err := as.MapRegion(16)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				as.Unmap(va, 16, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	repWg.Wait()
+}
+
+// TestConcurrentTenantChargeChurn runs several capped tenants' address
+// spaces through map/unmap cycles concurrently — the multi-AS churn a
+// multi-tenant soak produces — and checks the cap accounting balances
+// to zero afterwards while MemReport reads the same counters. Run with
+// -race.
+func TestConcurrentTenantChargeChurn(t *testing.T) {
+	m := MustNew(Config{Cost: sim.XeonGold6130()})
+	const tenants = 4
+	ts := make([]*mem.Tenant, tenants)
+	for i := range ts {
+		tt, err := m.NewTenant(fmt.Sprintf("t%d", i), 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts[i] = tt
+	}
+	var wg, repWg sync.WaitGroup
+	stop := make(chan struct{})
+	repWg.Add(1)
+	go func() {
+		defer repWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, u := range m.MemReport().Tenants {
+					if u.Charged < 0 || u.Charged > u.CapFrames {
+						t.Errorf("tenant %s charged %d outside [0, %d]", u.Name, u.Charged, u.CapFrames)
+						return
+					}
+				}
+			}
+		}
+	}()
+	for i, tt := range ts {
+		wg.Add(1)
+		go func(i int, tt *mem.Tenant) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				as := m.NewAddressSpaceFor(tt)
+				va, err := as.MapRegion(32)
+				if err != nil {
+					t.Errorf("tenant %d: %v", i, err)
+					return
+				}
+				// A second mapping that must overflow the 256-frame cap
+				// fails with the structured error and leaves no charge
+				// behind.
+				if _, err := as.MapRegion(512); err != nil {
+					var ce *mem.CapError
+					if !errors.As(err, &ce) {
+						t.Errorf("tenant %d: over-cap error = %v, want *mem.CapError", i, err)
+						return
+					}
+				} else {
+					t.Errorf("tenant %d: 512-page map under a 256-frame cap succeeded", i)
+					return
+				}
+				as.Unmap(va, 32, true)
+			}
+		}(i, tt)
+	}
+	wg.Wait()
+	close(stop)
+	repWg.Wait()
+	for i, tt := range ts {
+		if got := tt.Usage().Charged; got != 0 {
+			t.Errorf("tenant %d: %d pages still charged after full unmap", i, got)
+		}
+	}
+}

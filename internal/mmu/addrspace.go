@@ -31,6 +31,32 @@ type AddressSpace struct {
 	// translation faults non-resident pages in through it. Installed
 	// once at address-space creation, before any mapping exists.
 	swapper Swapper
+
+	// acct, when non-nil, charges mapped pages to a tenant-style quota
+	// before any frame is allocated. Installed once at address-space
+	// creation, before any mapping exists.
+	acct Accounter
+}
+
+// Accounter is the per-tenant charge hook (mem.Tenant wired up by the
+// machine layer). mmu stays policy-free: Map charges the page count
+// up front — a refusal fails the mapping before any physical frame is
+// touched — and Unmap uncharges what it actually removed.
+type Accounter interface {
+	// ChargePages admits n more mapped pages or fails with a structured
+	// over-quota error.
+	ChargePages(n int) error
+	// UnchargePages returns n pages to the quota.
+	UnchargePages(n int)
+}
+
+// SetAccounter arms per-tenant charge accounting. Must be called before
+// any mapping is created; a nil accounter (the default) keeps the address
+// space bit-identical to the unaccounted simulator.
+func (as *AddressSpace) SetAccounter(a Accounter) {
+	as.mapMu.Lock()
+	defer as.mapMu.Unlock()
+	as.acct = a
 }
 
 // Swapper is the far-memory backend an address space faults through
@@ -162,6 +188,15 @@ func (as *AddressSpace) Map(va uint64, pages int) error {
 	}
 	as.mapMu.Lock()
 	defer as.mapMu.Unlock()
+	// Tenant quota gate: the whole range is charged before any frame is
+	// allocated, so an over-cap tenant is refused without disturbing the
+	// machine-wide allocator. The rollback paths below uncharge through
+	// unmapLocked for the pages already mapped, plus the remainder here.
+	if as.acct != nil {
+		if err := as.acct.ChargePages(pages); err != nil {
+			return err
+		}
+	}
 	for i := 0; i < pages; i++ {
 		addr := va + uint64(i)<<mem.PageShift
 		pt := as.root.walk(addr, true)
@@ -169,6 +204,9 @@ func (as *AddressSpace) Map(va uint64, pages int) error {
 		if e.Mapped() {
 			// Roll back this call's mappings before failing.
 			as.unmapLocked(va, i, true)
+			if as.acct != nil {
+				as.acct.UnchargePages(pages - i)
+			}
 			return fmt.Errorf("mmu: Map: va %#x already mapped", addr)
 		}
 		if as.swapper != nil {
@@ -181,6 +219,9 @@ func (as *AddressSpace) Map(va uint64, pages int) error {
 		f, err := as.Phys.AllocFrameOn(as.placeNode())
 		if err != nil {
 			as.unmapLocked(va, i, true)
+			if as.acct != nil {
+				as.acct.UnchargePages(pages - i)
+			}
 			return err
 		}
 		pt.Lock()
@@ -215,6 +256,7 @@ func (as *AddressSpace) Unmap(va uint64, pages int, freeFrames bool) {
 }
 
 func (as *AddressSpace) unmapLocked(va uint64, pages int, freeFrames bool) {
+	unmapped := 0
 	for i := 0; i < pages; i++ {
 		addr := va + uint64(i)<<mem.PageShift
 		pt := as.root.walk(addr, false)
@@ -237,6 +279,10 @@ func (as *AddressSpace) unmapLocked(va uint64, pages int, freeFrames bool) {
 			as.swapper.FreeSlot(slot)
 		}
 		as.mappedPages--
+		unmapped++
+	}
+	if as.acct != nil && unmapped > 0 {
+		as.acct.UnchargePages(unmapped)
 	}
 }
 

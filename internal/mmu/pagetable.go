@@ -74,9 +74,16 @@ func (e *PTE) Mapped() bool { return e.Present || e.State != SwapNone }
 // covering virtual range is NOT stable — SwapPMDEntries reparents whole
 // tables between PMD slots.
 type PTETable struct {
-	id   uint64
-	mu   sync.Mutex
-	ptes [entriesPerLevel]PTE
+	id uint64
+	mu sync.Mutex
+	// busyUntil is the simulated time at which the most recent critical
+	// section on this table ends — the queueing-delay bookkeeping behind
+	// sim.Perf's PTELockWaits. It is observational only: kernel lock paths
+	// read it to attribute wait time but never advance a clock from it, so
+	// arming or ignoring it cannot change any simulated outcome. Atomic
+	// because tables are read by host-concurrent contexts under -race.
+	busyUntil atomic.Int64
+	ptes      [entriesPerLevel]PTE
 }
 
 // ID returns the table's allocation ID. IDs are unique per address space
@@ -97,6 +104,22 @@ func (t *PTETable) Unlock() { t.mu.Unlock() }
 // Entry returns a pointer to the idx'th PTE. The caller must hold the
 // table lock when mutating through it.
 func (t *PTETable) Entry(idx int) *PTE { return &t.ptes[idx] }
+
+// BusyUntil returns the simulated end time of the latest critical section
+// recorded on this table (0 if none).
+func (t *PTETable) BusyUntil() int64 { return t.busyUntil.Load() }
+
+// MarkBusyUntil records that a critical section on this table ran until
+// the given simulated time. Monotonic: an earlier end never overwrites a
+// later one, so overlapping recorders keep the farthest horizon.
+func (t *PTETable) MarkBusyUntil(end int64) {
+	for {
+		cur := t.busyUntil.Load()
+		if end <= cur || t.busyUntil.CompareAndSwap(cur, end) {
+			return
+		}
+	}
+}
 
 // pmd is one page middle directory. Its slots are atomic pointers because
 // SwapPMDEntries exchanges two slots (under the address-space mapping

@@ -52,12 +52,24 @@ type Perf struct {
 	MemmoveCalls uint64
 	BytesCopied  uint64 // bytes physically moved by Memmove
 
+	// PTE-lock queueing: time spent waiting to acquire a contended
+	// PTE-table lock, as opposed to the hold time inside the critical
+	// section. Recorded from the tables' busy-until marks, so the counters
+	// never advance the clock and zero-config output is unaffected.
+	PTELockWaits  uint64 // acquisitions that queued behind a holder
+	PTELockWaitNs uint64 // total simulated ns spent queued
+
 	// Fault plane (zero unless an injector is armed).
 	FaultsInjected uint64 // faults that fired, all sites
 	SwapRetries    uint64 // EAGAIN-style swap retries by the GC
 	SwapFallbacks  uint64 // per-object degradations to byte copy
 	SwapRollbacks  uint64 // transactional undos of partial swaps
 	IPIResends     uint64 // shootdown IPIs re-sent after ack timeouts
+	CapRaceRetries uint64 // tenant cap-counter re-reads after injected races
+
+	// Multi-tenant plane (zero unless a GC arbiter is armed).
+	ArbiterWaits  uint64 // collections whose start the arbiter deferred
+	ArbiterWaitNs uint64 // total simulated ns of deferred GC starts
 
 	// Pressure plane (zero unless watermarks are armed).
 	PressureStalls uint64 // mutator allocations stalled at the low watermark
@@ -104,11 +116,16 @@ func (p *Perf) Add(other *Perf) {
 	p.PMDSwaps += other.PMDSwaps
 	p.MemmoveCalls += other.MemmoveCalls
 	p.BytesCopied += other.BytesCopied
+	p.PTELockWaits += other.PTELockWaits
+	p.PTELockWaitNs += other.PTELockWaitNs
 	p.FaultsInjected += other.FaultsInjected
 	p.SwapRetries += other.SwapRetries
 	p.SwapFallbacks += other.SwapFallbacks
 	p.SwapRollbacks += other.SwapRollbacks
 	p.IPIResends += other.IPIResends
+	p.CapRaceRetries += other.CapRaceRetries
+	p.ArbiterWaits += other.ArbiterWaits
+	p.ArbiterWaitNs += other.ArbiterWaitNs
 	p.PressureStalls += other.PressureStalls
 	p.EmergencyGCs += other.EmergencyGCs
 	p.ReservedAllocs += other.ReservedAllocs

@@ -73,6 +73,15 @@ type Config struct {
 	// zero slots after the closing full GC, and frames-in-use equals the
 	// heap's resident live prefix exactly. The zero value changes nothing.
 	Swap swaptier.Config
+	// Tenants, when > 1, selects the multi-tenant soak instead: that many
+	// capped tenant JVMs churn concurrently (one host goroutine each, so
+	// the machine runs its concurrent paths), with per-tenant charge
+	// baselines and cap-isolation probes checked every cycle. FailFasts
+	// then counts refused over-cap mappings.
+	Tenants int
+	// TenantCapFrames overrides the per-tenant cap in the multi-tenant
+	// soak (default: twice the heap plus slack).
+	TenantCapFrames int
 	// Log, when set, receives a progress line per cycle.
 	Log io.Writer
 }
@@ -104,6 +113,9 @@ func (r *Result) String() string {
 // violation (frame leak, goroutine growth, missing fail-fast, or a GC
 // failure — including a watchdog abort, which is a finding, not a hang).
 func Run(cfg Config) (*Result, error) {
+	if cfg.Tenants > 1 {
+		return runTenants(cfg)
+	}
 	collector := cfg.Collector
 	if collector == "" {
 		collector = jvm.CollectorSVAGC

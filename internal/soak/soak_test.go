@@ -86,3 +86,40 @@ func TestSoakRejectsUnknownCollector(t *testing.T) {
 		t.Fatal("unknown collector accepted")
 	}
 }
+
+// TestSoakMultiTenant runs the concurrent capped-tenant soak: several
+// tenant JVMs churning at once, per-tenant charge baselines flat every
+// cycle, and the over-cap isolation probe refused with the structured
+// cap error while neighbours keep allocating.
+func TestSoakMultiTenant(t *testing.T) {
+	res, err := Run(Config{
+		Collector: jvm.CollectorSVAGC,
+		Duration:  200 * time.Millisecond,
+		Tenants:   3,
+	})
+	if err != nil {
+		t.Fatalf("multi-tenant soak failed: %v (after %+v)", err, res)
+	}
+	if res.Cycles < 2 {
+		t.Fatalf("ran %d cycles, want >= 2 (warm-up plus checked)", res.Cycles)
+	}
+	if res.FailFasts < uint64(res.Cycles-1) {
+		t.Errorf("cap refusals %d < checked cycles %d; every cycle probes the cap", res.FailFasts, res.Cycles-1)
+	}
+	if res.Collections < 3*res.Cycles {
+		t.Errorf("collections %d < %d; every tenant collects every cycle", res.Collections, 3*res.Cycles)
+	}
+}
+
+// TestSoakMultiTenantCopyGC runs the same soak under the copying
+// collector, whose to-space mapping churns the cap accounting hardest.
+func TestSoakMultiTenantCopyGC(t *testing.T) {
+	res, err := Run(Config{
+		Collector: jvm.CollectorCopy,
+		Duration:  200 * time.Millisecond,
+		Tenants:   2,
+	})
+	if err != nil {
+		t.Fatalf("multi-tenant soak failed: %v (after %+v)", err, res)
+	}
+}

@@ -48,6 +48,7 @@ type Snapshot struct {
 	NUMARemoteB    uint64       // bytes streamed across the interconnect
 	SwapPages      HistSnapshot // pages per applied swap request
 	LockHoldNs     HistSnapshot // simulated ns per PTE-lock critical section
+	LockWaitNs     HistSnapshot // simulated ns queued behind a PTE lock
 	ShootdownGapNs HistSnapshot // simulated ns between a context's shootdowns
 
 	// Fault plane (internal/fault): injections by site plus the
@@ -88,6 +89,7 @@ func SnapshotOf(tracers ...*Tracer) *Snapshot {
 			s.NUMARemoteB += b.m.numaRemoteBytes
 			s.SwapPages.add(&b.m.swapPages)
 			s.LockHoldNs.add(&b.m.lockHold)
+			s.LockWaitNs.add(&b.m.lockWait)
 			s.ShootdownGapNs.add(&b.m.sdGap)
 			for i := range s.FaultsBySite {
 				s.FaultsBySite[i] += b.m.faultBySite[i]
@@ -121,6 +123,7 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	s.NUMARemoteB += other.NUMARemoteB
 	s.SwapPages.merge(&other.SwapPages)
 	s.LockHoldNs.merge(&other.LockHoldNs)
+	s.LockWaitNs.merge(&other.LockWaitNs)
 	s.ShootdownGapNs.merge(&other.ShootdownGapNs)
 	for i := range s.FaultsBySite {
 		s.FaultsBySite[i] += other.FaultsBySite[i]
@@ -212,6 +215,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}{
 		{"svagc_swap_request_pages", "Pages per applied SwapVA request.", &s.SwapPages},
 		{"svagc_pte_lock_hold_ns", "Simulated ns per PTE-lock critical section.", &s.LockHoldNs},
+		{"svagc_pte_lock_wait_ns", "Simulated ns queued behind a contended PTE lock before acquisition.", &s.LockWaitNs},
 		{"svagc_shootdown_interval_ns", "Simulated ns between a context's TLB shootdowns.", &s.ShootdownGapNs},
 	} {
 		if err := writeHist(p, h.name, h.help, h.snap); err != nil {

@@ -97,8 +97,14 @@ const (
 	// direct-reclaim episode). Arg1 = frames freed, Arg2 = 1 for direct
 	// reclaim, 0 for the background (kswapd) path.
 	KindReclaim
+	// KindApp spans an application-level episode above the GC: a jvm
+	// allocation episode that triggered collections, an arbiter admission
+	// wait, or an SMR election/replay/commit interval. Arg1/Arg2 are
+	// span-specific (GC count for alloc episodes, tenant/term indices for
+	// SMR events).
+	KindApp
 
-	numKinds = int(KindReclaim) + 1
+	numKinds = int(KindApp) + 1
 )
 
 // String returns the stable lower-case name used in metrics labels and
@@ -145,6 +151,8 @@ func (k Kind) String() string {
 		return "swap_in"
 	case KindReclaim:
 		return "reclaim"
+	case KindApp:
+		return "app"
 	default:
 		return "unknown"
 	}
@@ -175,8 +183,16 @@ const (
 	// stays resident), and a SwapVA touching a swapped PTE aborts and
 	// rolls back through the transaction log.
 	FaultFarWrite
+	// FaultArbiterStall delays a GC-arbiter admission decision: the
+	// requesting tenant's collection start is pushed back as if the
+	// arbiter's bookkeeping lock were contended.
+	FaultArbiterStall
+	// FaultCapRace models a stale read of a tenant's charge counter on the
+	// allocation path: the ladder re-reads the tenant state and retries,
+	// charging a small fixed re-check cost.
+	FaultCapRace
 
-	NumFaultSites = int(FaultFarWrite) + 1
+	NumFaultSites = int(FaultCapRace) + 1
 )
 
 // String returns the stable site name used in metrics labels and fault
@@ -195,6 +211,10 @@ func (s FaultSite) String() string {
 		return "interconnect"
 	case FaultFarWrite:
 		return "far_write"
+	case FaultArbiterStall:
+		return "arbiter_stall"
+	case FaultCapRace:
+		return "cap_race"
 	default:
 		return "unknown"
 	}
@@ -218,6 +238,8 @@ func (k Kind) Category() string {
 		return "bus"
 	case KindPhase, KindSpan:
 		return "gc"
+	case KindApp:
+		return "app"
 	default:
 		return "other"
 	}
@@ -310,6 +332,18 @@ func (b *Buffer) ObserveFault(site FaultSite) {
 	if int(site) < NumFaultSites {
 		b.m.faultBySite[site]++
 	}
+}
+
+// ObserveLockWait records one PTE-lock queueing delay (simulated ns spent
+// waiting behind another context's critical section) without recording an
+// event. Lock acquisitions sit on the per-page kernel hot path, so like
+// ObserveNUMA this updates only the fixed-size aggregate histogram.
+// Nil-safe like Emit.
+func (b *Buffer) ObserveLockWait(waitNs sim.Time) {
+	if b == nil {
+		return
+	}
+	b.m.lockWait.observe(uint64(waitNs))
 }
 
 // ObserveNUMA counts one placement-resolved access without recording an
@@ -430,6 +464,7 @@ type bufMetrics struct {
 	kindCount [numKinds]uint64
 	swapPages hist // KindSwapReq: request size in pages
 	lockHold  hist // KindPTELock: critical-section ns
+	lockWait  hist // ObserveLockWait: ns queued behind a PTE lock
 	sdGap     hist // KindShootdown: ns since this context's previous one
 	lastSD    sim.Time
 	hasSD     bool

@@ -60,8 +60,8 @@ func TestFacadeRegistries(t *testing.T) {
 	if len(svagc.Workloads()) != 15 {
 		t.Errorf("workloads = %d, want 15", len(svagc.Workloads()))
 	}
-	if len(svagc.Experiments()) != 21 {
-		t.Errorf("experiments = %d, want 21", len(svagc.Experiments()))
+	if len(svagc.Experiments()) != 22 {
+		t.Errorf("experiments = %d, want 22", len(svagc.Experiments()))
 	}
 	if _, err := svagc.WorkloadByName("Sigverify"); err != nil {
 		t.Error(err)
